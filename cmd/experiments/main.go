@@ -1,0 +1,69 @@
+// Command experiments regenerates every reproduction experiment (the
+// per-experiment index lives in DESIGN.md) and prints the tables, either for
+// a terminal or as the markdown that populates EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-only E01,E09] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rwsfs/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = harness.Quick
+	case "full":
+		scale = harness.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var selected []harness.Experiment
+	if *only == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			ex, ok := harness.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, ex)
+		}
+	}
+
+	failures := 0
+	for _, ex := range selected {
+		tbl := ex.Run(scale)
+		if *md {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+		for _, c := range tbl.Checks {
+			if !c.Pass {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d shape checks failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+// Command rwsim runs one algorithm on the simulated machine under randomized
+// work stealing and prints the cost metrics the paper's analysis bounds:
+// steals, cache misses, block misses (false sharing), per-block transfer
+// maxima, and makespan.
+//
+// Usage:
+//
+//	rwsim -alg matmul-la -n 64 -p 8 [-seed 1] [-B 16] [-M 4096]
+//	      [-b 10] [-s 20] [-budget -1] [-seq]
+//
+// Algorithms: matmul-ip, matmul-la, matmul-log, prefix, prefix-padded,
+// transpose, rm2bi, bi2rm, bi2rm-natural, bi2rm-rowgather, sort-merge,
+// sort-col, fft, listrank, conncomp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rwsfs/internal/alg/matmul"
+	"rwsfs/internal/alg/prefix"
+	"rwsfs/internal/alg/sorthbp"
+	"rwsfs/internal/harness"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/rws"
+)
+
+func main() {
+	alg := flag.String("alg", "matmul-la", "algorithm to run")
+	n := flag.Int("n", 64, "problem size (matrix side, vector length, ...)")
+	p := flag.Int("p", 8, "processors")
+	seed := flag.Int64("seed", 1, "scheduling seed")
+	bWords := flag.Int("B", 16, "block size in words")
+	mWords := flag.Int("M", 4096, "cache size in words")
+	bCost := flag.Int64("b", 10, "cache miss cost (ticks)")
+	sCost := flag.Int64("s", 20, "steal cost (ticks)")
+	budget := flag.Int64("budget", -1, "steal budget (-1 = unlimited)")
+	seq := flag.Bool("seq", false, "also run p=1 baseline and report speedup")
+	flag.Parse()
+
+	mk, ok := makers(*alg, *n)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rwsim: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	cfg := rws.DefaultConfig(*p)
+	cfg.Machine.B = *bWords
+	cfg.Machine.M = *mWords
+	cfg.Machine.CostMiss = machine.Tick(*bCost)
+	cfg.Machine.CostSteal = machine.Tick(*sCost)
+	cfg.Machine.CostFailSteal = machine.Tick(*bCost)
+	cfg.Seed = *seed
+	cfg.StealBudget = *budget
+
+	e, root := mk(cfg)
+	res := e.Run(root)
+	report(*alg, *n, res)
+
+	if *seq && *p > 1 {
+		c1 := cfg
+		c1.Machine.P = 1
+		e1, root1 := mk(c1)
+		r1 := e1.Run(root1)
+		fmt.Printf("%-24s %d\n", "seq makespan:", r1.Makespan)
+		fmt.Printf("%-24s %.2fx\n", "speedup:", float64(r1.Makespan)/float64(res.Makespan))
+	}
+}
+
+func makers(alg string, n int) (harness.Maker, bool) {
+	switch alg {
+	case "matmul-ip":
+		return harness.MMMaker(matmul.InPlaceDepthN, n, 8), true
+	case "matmul-la":
+		return harness.MMMaker(matmul.LimitedAccessDepthN, n, 8), true
+	case "matmul-log":
+		return harness.MMMaker(matmul.DepthLog2, n, 8), true
+	case "prefix":
+		return harness.PrefixMaker(n, prefix.Config{Chunk: 4}), true
+	case "prefix-padded":
+		return harness.PrefixMaker(n, prefix.Config{Chunk: 4, Padded: true}), true
+	case "transpose":
+		return harness.TransposeMaker(n), true
+	case "rm2bi":
+		return harness.RMToBIMaker(n), true
+	case "bi2rm":
+		return harness.BIToRMMaker(n, false), true
+	case "bi2rm-natural":
+		return harness.BIToRMMaker(n, true), true
+	case "bi2rm-rowgather":
+		return harness.BIToRMRowGatherMaker(n), true
+	case "sort-merge":
+		return harness.SortMaker(sorthbp.Mergesort, n), true
+	case "sort-col":
+		return harness.SortMaker(sorthbp.Columnsort, n), true
+	case "fft":
+		return harness.FFTMaker(n), true
+	case "listrank":
+		return harness.ListRankMaker(n), true
+	case "conncomp":
+		return harness.ConnCompMaker(n, 2*n), true
+	}
+	return nil, false
+}
+
+func report(alg string, n int, r rws.Result) {
+	fmt.Printf("algorithm %s, n=%d, p=%d, B=%d, M=%d, b=%d, s=%d, seed-dependent schedule\n",
+		alg, n, r.Params.P, r.Params.B, r.Params.M, r.Params.CostMiss, r.Params.CostSteal)
+	rows := [][2]string{
+		{"makespan (ticks):", fmt.Sprint(r.Makespan)},
+		{"work ticks:", fmt.Sprint(r.Totals.WorkTicks)},
+		{"successful steals:", fmt.Sprint(r.Steals)},
+		{"failed steals:", fmt.Sprint(r.FailedSteals)},
+		{"spawns:", fmt.Sprint(r.Spawns)},
+		{"usurpations:", fmt.Sprint(r.Usurpations)},
+		{"cache misses:", fmt.Sprint(r.Totals.CacheMisses)},
+		{"block misses:", fmt.Sprint(r.Totals.BlockMisses)},
+		{"block wait ticks:", fmt.Sprint(r.Totals.BlockWait)},
+		{"block transfers:", fmt.Sprint(r.BlockTransfersTotal)},
+		{"max transfers/block:", fmt.Sprint(r.BlockTransfersMax)},
+		{"root stack peak:", fmt.Sprint(r.RootStackPeak)},
+		{"stacks created/reused:", fmt.Sprintf("%d/%d", r.StacksCreated, r.StacksReused)},
+	}
+	for _, row := range rows {
+		fmt.Printf("%-24s %s\n", row[0], row[1])
+	}
+}

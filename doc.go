@@ -1,0 +1,23 @@
+// Package rwsfs reproduces Cole & Ramachandran, "Analysis of Randomized
+// Work Stealing with False Sharing" (IPDPS/IPPS 2013, arXiv:1103.4142) as a
+// runnable Go system: a deterministic multicore simulator with an
+// invalidation-based coherence model, the paper's randomized work-stealing
+// scheduler, the full algorithm suite the paper analyzes (matrix multiply in
+// three variants, layout conversions, transpose, prefix sums, HBP sorting,
+// FFT, list ranking, connected components), closed-form evaluators for every
+// bound, and an experiment harness that regenerates each lemma/theorem's
+// predicted-vs-measured table.
+//
+// Entry points:
+//
+//   - internal/rws: the scheduler and the Ctx fork-join programming model
+//   - internal/harness: the E01..E14 experiment registry
+//   - cmd/rwsim, cmd/experiments: command-line front ends
+//   - examples/: runnable walkthroughs
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for recorded results.
+package rwsfs
+
+// Version identifies the reproduction snapshot.
+const Version = "1.0.0"

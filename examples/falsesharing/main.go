@@ -1,0 +1,70 @@
+// False sharing, twice: first measured exactly on the simulated machine
+// (block misses, per-block transfers), then timed on your real CPU with the
+// native work-stealing runtime's padded vs unpadded counters.
+//
+//	go run ./examples/falsesharing
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/native"
+	"rwsfs/internal/rws"
+)
+
+func main() {
+	simulated()
+	nativeHost()
+}
+
+// simulated reproduces Section 2.1's scenario on the simulator: two tasks
+// write distinct words of one block vs of two separate blocks.
+func simulated() {
+	fmt.Println("— simulated machine (exact counts) —")
+	run := func(gap int) rws.Result {
+		cfg := rws.DefaultConfig(2)
+		cfg.Seed = 3
+		e := rws.MustNewEngine(cfg)
+		buf := e.Machine().Alloc.Alloc(2 * cfg.Machine.B)
+		return e.Run(func(c *rws.Ctx) {
+			c.Fork(
+				func(c *rws.Ctx) {
+					for i := 0; i < 300; i++ {
+						c.Write(buf)
+						c.Work(3)
+					}
+				},
+				func(c *rws.Ctx) {
+					for i := 0; i < 300; i++ {
+						c.Write(buf + mem.Addr(gap))
+						c.Work(3)
+					}
+				},
+			)
+		})
+	}
+	shared := run(1)                             // two words, one block
+	apart := run(rws.DefaultConfig(2).Machine.B) // two words, two blocks
+	fmt.Printf("  same block:      blockMisses=%4d  maxTransfers=%4d  makespan=%6d\n",
+		shared.Totals.BlockMisses, shared.BlockTransfersMax, shared.Makespan)
+	fmt.Printf("  separate blocks: blockMisses=%4d  maxTransfers=%4d  makespan=%6d\n",
+		apart.Totals.BlockMisses, apart.BlockTransfersMax, apart.Makespan)
+	fmt.Println("  (with a steal, the same-block run bounces its block on every write pair)")
+	fmt.Println()
+}
+
+// nativeHost times the same contrast on the real machine.
+func nativeHost() {
+	fmt.Println("— native host (wall clock) —")
+	workers := 4
+	if n := runtime.GOMAXPROCS(0); n < workers {
+		workers = n
+	}
+	r := native.MeasureFalseSharing(workers, 2_000_000)
+	fmt.Printf("  %d workers x %d increments\n", r.Workers, r.Iterations)
+	fmt.Printf("  unpadded (one cache line):  %v\n", r.Unpadded)
+	fmt.Printf("  padded (line per counter):  %v\n", r.Padded)
+	fmt.Printf("  slowdown from false sharing: %.2fx\n", r.Slowdown)
+}

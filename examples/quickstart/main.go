@@ -1,0 +1,57 @@
+// Quickstart: multiply two matrices on the simulated multicore under
+// randomized work stealing and print the costs the paper's theory bounds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rwsfs/internal/alg/matmul"
+	"rwsfs/internal/analysis"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/rws"
+)
+
+func main() {
+	const n = 32 // matrix side
+	const p = 8  // simulated processors
+
+	// 1. Deterministic inputs and the sequential oracle.
+	a := matrix.Random(n, 1)
+	b := matrix.Random(n, 2)
+	want := matrix.Multiply(a, b)
+
+	// 2. Run the paper's limited-access depth-n algorithm under simulated
+	//    RWS. rws.DefaultConfig gives a machine with 32 KiB caches of
+	//    128-byte blocks (M=4096, B=16 words), miss cost b=10, steal cost
+	//    s=20.
+	cfg := rws.DefaultConfig(p)
+	cfg.Seed = 42
+	res, got := matmul.Run(cfg, matmul.DefaultConfig(matmul.LimitedAccessDepthN), a, b)
+
+	if !matrix.Equal(got, want) {
+		panic("wrong product") // never happens: tests guarantee correctness
+	}
+
+	// 3. The quantities Sections 3-7 of the paper bound.
+	fmt.Printf("multiplied two %dx%d matrices on %d simulated processors\n\n", n, n, p)
+	fmt.Printf("  makespan               %8d ticks\n", res.Makespan)
+	fmt.Printf("  successful steals S    %8d\n", res.Steals)
+	fmt.Printf("  cache misses           %8d (cold + capacity)\n", res.Totals.CacheMisses)
+	fmt.Printf("  block misses           %8d (invalidations: false sharing)\n", res.Totals.BlockMisses)
+	fmt.Printf("  usurpations            %8d (kernel moved processors at a join)\n", res.Usurpations)
+	fmt.Printf("  max transfers of one block %4d\n\n", res.BlockTransfersMax)
+
+	// 4. Compare with the paper's bounds.
+	cs := analysis.Costs{B: cfg.Machine.B, M: cfg.Machine.M,
+		Cb: float64(cfg.Machine.CostMiss), Cs: float64(cfg.Machine.CostSteal)}
+	fmt.Printf("paper bounds at these parameters:\n")
+	fmt.Printf("  block-miss delay  O(S·B)            = %v\n",
+		analysis.BlockDelayPerSteal(float64(res.Steals), cs))
+	fmt.Printf("  extra cache misses O(S^⅓·n²/B + S)  = %.0f\n",
+		analysis.MMExtraCacheMisses(n, float64(res.Steals), cs))
+	fmt.Printf("  steal bound        O(p·h(t)(1+a))   = %.0f (a=1)\n",
+		analysis.StealBoundGeneral(p, analysis.HRootTheorem63(
+			analysis.CaseC2Quarter, n*n, float64(n), cs), 1))
+}

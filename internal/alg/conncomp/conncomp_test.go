@@ -1,0 +1,135 @@
+package conncomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+func runCC(p int, seed int64, g Graph) ([]int64, rws.Result) {
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWords(g.N) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	lay := Place(mm.Alloc, mm.Mem, g)
+	res := e.Run(Build(lay))
+	out := make([]int64, g.N)
+	for i := range out {
+		out[i] = mm.Mem.LoadInt(lay.Label + mem.Addr(i))
+	}
+	return out, res
+}
+
+func check(t *testing.T, label string, g Graph, got []int64) {
+	t.Helper()
+	want := Sequential(g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: label[%d]=%d want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	g := NewGraph(10, nil)
+	got, _ := runCC(4, 1, g)
+	check(t, "no-edges", g, got)
+}
+
+func TestPathWorstOrder(t *testing.T) {
+	// Path where the minimum id sits at one end: the propagation stress case.
+	n := 256
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int{n - 1 - i, n - 2 - i})
+	}
+	g := NewGraph(n, edges)
+	got, _ := runCC(8, 3, g)
+	check(t, "path", g, got)
+}
+
+func TestCycleAndClique(t *testing.T) {
+	n := 100
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n}) // cycle on [0,n)
+	}
+	for i := n; i < n+20; i++ {
+		for j := i + 1; j < n+20; j++ {
+			edges = append(edges, [2]int{i, j}) // clique on [n, n+20)
+		}
+	}
+	g := NewGraph(n+20, edges)
+	got, _ := runCC(4, 5, g)
+	check(t, "cycle+clique", g, got)
+}
+
+func TestManyComponentsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	var edges [][2]int
+	for i := 0; i < 400; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g := NewGraph(n, edges)
+	for _, p := range []int{1, 4, 8} {
+		got, _ := runCC(p, int64(p), g)
+		check(t, "random", g, got)
+	}
+}
+
+func TestStarGraphs(t *testing.T) {
+	// High-degree hub exercises the per-vertex CSR inner loop.
+	n := 300
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	g := NewGraph(n, edges)
+	got, _ := runCC(8, 9, g)
+	check(t, "star", g, got)
+}
+
+func TestQuickRandomGraphsProperty(t *testing.T) {
+	f := func(seed uint16, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := rng.Intn(120) + 1
+		var edges [][2]int
+		for i := 0; i < int(nEdges); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := NewGraph(n, edges)
+		got, _ := runCC(4, int64(seed)+1, g)
+		want := Sequential(g)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialOracleBasics(t *testing.T) {
+	g := NewGraph(5, [][2]int{{3, 4}, {1, 2}})
+	want := []int64{0, 1, 1, 3, 3}
+	got := Sequential(g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oracle: label[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}

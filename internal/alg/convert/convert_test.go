@@ -1,0 +1,126 @@
+package convert
+
+import (
+	"testing"
+
+	"rwsfs/internal/layout"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/rws"
+)
+
+func runConv(t *testing.T, p int, seed int64, n int,
+	build func(src, dst matrix.Mat) func(*rws.Ctx),
+	srcKind, dstKind layout.Kind) (rws.Result, [][]float64, [][]float64) {
+	t.Helper()
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWordsBIToRM(n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	src := matrix.New(mm.Alloc, n, srcKind)
+	dst := matrix.New(mm.Alloc, n, dstKind)
+	vals := matrix.Random(n, seed+7)
+	src.Fill(mm.Mem, vals)
+	res := e.Run(build(src, dst))
+	return res, vals, dst.Read(mm.Mem)
+}
+
+func TestRMToBICorrect(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		for _, p := range []int{1, 4} {
+			_, want, got := runConv(t, p, 3, n, RMToBI, layout.RowMajor, layout.BitInterleaved)
+			if !matrix.Equal(want, got) {
+				t.Fatalf("RMToBI n=%d p=%d: wrong conversion", n, p)
+			}
+		}
+	}
+}
+
+func TestBIToRMCorrect(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		for _, p := range []int{1, 4, 8} {
+			_, want, got := runConv(t, p, 5, n, BIToRM, layout.BitInterleaved, layout.RowMajor)
+			if !matrix.Equal(want, got) {
+				t.Fatalf("BIToRM n=%d p=%d: wrong conversion", n, p)
+			}
+		}
+	}
+}
+
+func TestBIToRMNaturalCorrect(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		for _, p := range []int{1, 4} {
+			_, want, got := runConv(t, p, 9, n, BIToRMNatural, layout.BitInterleaved, layout.RowMajor)
+			if !matrix.Equal(want, got) {
+				t.Fatalf("BIToRMNatural n=%d p=%d: wrong conversion", n, p)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// RM -> BI -> RM must be the identity.
+	n := 32
+	ecfg := rws.DefaultConfig(4)
+	ecfg.RootStackWords = StackWordsBIToRM(n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	src := matrix.New(mm.Alloc, n, layout.RowMajor)
+	mid := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	dst := matrix.New(mm.Alloc, n, layout.RowMajor)
+	vals := matrix.Random(n, 1)
+	src.Fill(mm.Mem, vals)
+	e.Run(func(c *rws.Ctx) {
+		RMToBI(src, mid)(c)
+		BIToRM(mid, dst)(c)
+	})
+	if !matrix.Equal(vals, dst.Read(mm.Mem)) {
+		t.Fatal("RM->BI->RM round trip broken")
+	}
+}
+
+func TestBIToRMRowGatherCorrect(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		for _, p := range []int{1, 4, 8} {
+			_, want, got := runConv(t, p, 13, n, BIToRMRowGather, layout.BitInterleaved, layout.RowMajor)
+			if !matrix.Equal(want, got) {
+				t.Fatalf("BIToRMRowGather n=%d p=%d: wrong conversion", n, p)
+			}
+		}
+	}
+}
+
+func TestRowGatherShallowerThanBuffered(t *testing.T) {
+	// The reconstruction's point (Section 7): same result, depth O(log n)
+	// instead of O(log² n), so with ample processors its makespan should not
+	// exceed the buffered version's.
+	n := 64
+	var spanGather, spanBuffered int64
+	for seed := int64(1); seed <= 3; seed++ {
+		rg, _, _ := runConv(t, 8, seed, n, BIToRMRowGather, layout.BitInterleaved, layout.RowMajor)
+		rb, _, _ := runConv(t, 8, seed, n, BIToRM, layout.BitInterleaved, layout.RowMajor)
+		spanGather += int64(rg.Makespan)
+		spanBuffered += int64(rb.Makespan)
+	}
+	if spanGather > spanBuffered {
+		t.Errorf("row-gather slower than buffered: %d vs %d ticks", spanGather, spanBuffered)
+	}
+}
+
+func TestNaturalConversionSharesMoreWritableBlocks(t *testing.T) {
+	// The reason the paper rejects the natural BI->RM algorithm: under
+	// steals, it bounces far more blocks than the buffered version. Compare
+	// invalidation traffic at equal (n, p, seed) summed over seeds.
+	n := 64
+	var invNat, invBuf int64
+	for seed := int64(1); seed <= 4; seed++ {
+		rn, _, _ := runConv(t, 8, seed, n, BIToRMNatural, layout.BitInterleaved, layout.RowMajor)
+		rb, _, _ := runConv(t, 8, seed, n, BIToRM, layout.BitInterleaved, layout.RowMajor)
+		invNat += rn.Totals.BlockMisses
+		invBuf += rb.Totals.BlockMisses
+	}
+	if invNat == 0 {
+		t.Skip("no block misses observed; machine too large for contention at this size")
+	}
+	t.Logf("block misses: natural=%d buffered=%d", invNat, invBuf)
+}

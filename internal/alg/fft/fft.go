@@ -1,0 +1,224 @@
+// Package fft implements the HBP Fast Fourier Transform of Theorem 7.1(iv):
+// the cache-oblivious "six-step" factorization that treats the length-n
+// input as an n1 x n2 matrix (n1·n2 = n, n1 ≈ n2 ≈ √n) and computes
+//
+//	X[k1 + k2·n1] = Σ_{j2} ω_{n2}^{j2·k2} ( ω_n^{j2·k1} Σ_{j1} ω_{n1}^{j1·k1} x[j1·n2 + j2] )
+//
+// as: transpose → n2 parallel recursive FFTs of size n1 → twiddle →
+// transpose → n1 parallel recursive FFTs of size n2 → transpose.
+//
+// The recursive FFT collections are exactly the paper's "c = 2 collections
+// of Θ(√n)-size subproblems" (Theorem 6.3(ii): h(t) = O(T∞ + (b/s)·B·log n /
+// log B)); the transposes and twiddle pass are BP computations with Regular
+// Pattern writes. Complex values are stored as (re, im) word pairs.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// Base is the transform size at which recursion switches to an in-cache
+// iterative radix-2 kernel.
+const Base = 16
+
+// Build returns a task computing the in-place DFT of the n complex values
+// (2n words, re/im interleaved) at arr. n must be a power of two.
+func Build(arr mem.Addr, n int) func(*rws.Ctx) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("fft: n must be a positive power of two")
+	}
+	return func(c *rws.Ctx) { rec(c, arr, n) }
+}
+
+// StackWords estimates the stack demand of a size-n transform: one 2n-word
+// scratch buffer per level of the path; levels shrink as √n.
+func StackWords(n int) int { return 4*n + 64*log2(n+2) + 2048 }
+
+func log2(n int) int {
+	l := 0
+	for (1 << l) < n {
+		l++
+	}
+	return l
+}
+
+func rec(c *rws.Ctx, arr mem.Addr, n int) {
+	if n <= Base {
+		kernel(c, arr, n)
+		return
+	}
+	k := log2(n)
+	n1 := 1 << ((k + 1) / 2) // row length of the first FFT collection
+	n2 := n / n1             // n1 >= n2
+
+	tmpSeg := c.Alloc(2 * n)
+	tmp := tmpSeg.Base
+
+	// Step 1: tmp[j2][j1] = arr[j1][j2]  (view arr as n1 x n2 row-major).
+	transpose(c, arr, tmp, n1, n2)
+	// Step 2: FFT each of the n2 rows of tmp (length n1).
+	fftRows(c, tmp, n2, n1)
+	// Step 3: twiddle tmp[j2][k1] *= ω_n^{j2·k1}.
+	twiddle(c, tmp, n2, n1, n)
+	// Step 4: arr[k1][j2] = tmp[j2][k1]  (tmp is n2 x n1 row-major).
+	transpose(c, tmp, arr, n2, n1)
+	// Step 5: FFT each of the n1 rows of arr (length n2).
+	fftRows(c, arr, n1, n2)
+	// Step 6: X[k2][k1] = arr[k1][k2]: transpose into tmp, copy back.
+	transpose(c, arr, tmp, n1, n2)
+	copyComplex(c, tmp, arr, n)
+
+	c.Free(tmpSeg)
+}
+
+// fftRows runs the parallel collection of recursive FFTs on rows of length
+// rowLen in a rows x rowLen row-major complex matrix at base.
+func fftRows(c *rws.Ctx, base mem.Addr, rows, rowLen int) {
+	hint := func(lo, hi int) int { return (hi - lo) * StackWords(rowLen) }
+	c.ForkNHint(rows, hint, func(r int, c *rws.Ctx) {
+		rec(c, base+mem.Addr(2*r*rowLen), rowLen)
+	})
+}
+
+// transpose writes dst[j][i] = src[i][j] for an r x s row-major complex
+// matrix src (dst is s x r). Leaves write contiguous dst rows (Regular
+// Pattern); the strided reads are timed per element pair.
+func transpose(c *rws.Ctx, src, dst mem.Addr, r, s int) {
+	c.ForkN(s, func(j int, c *rws.Ctx) {
+		c.Node()
+		mm := c.Mem()
+		for i := 0; i < r; i++ {
+			from := src + mem.Addr(2*(i*s+j))
+			to := dst + mem.Addr(2*(j*r+i))
+			c.ReadRange(from, 2)
+			c.Work(1)
+			mm.StoreFloat(to, mm.LoadFloat(from))
+			mm.StoreFloat(to+1, mm.LoadFloat(from+1))
+		}
+		c.WriteRange(dst+mem.Addr(2*j*r), 2*r)
+	})
+}
+
+// twiddle multiplies element (j2, k1) of the n2 x n1 row-major matrix by
+// ω_n^{j2·k1}, one parallel chunk per row.
+func twiddle(c *rws.Ctx, base mem.Addr, n2, n1, n int) {
+	c.ForkN(n2, func(j2 int, c *rws.Ctx) {
+		row := base + mem.Addr(2*j2*n1)
+		c.Node()
+		c.ReadRange(row, 2*n1)
+		c.Work(machine.Tick(4 * n1))
+		mm := c.Mem()
+		for k1 := 0; k1 < n1; k1++ {
+			w := omega(n, j2*k1)
+			a := row + mem.Addr(2*k1)
+			v := complex(mm.LoadFloat(a), mm.LoadFloat(a+1)) * w
+			mm.StoreFloat(a, real(v))
+			mm.StoreFloat(a+1, imag(v))
+		}
+		c.WriteRange(row, 2*n1)
+	})
+}
+
+// copyComplex streams n complex values src -> dst in parallel chunks.
+func copyComplex(c *rws.Ctx, src, dst mem.Addr, n int) {
+	words := 2 * n
+	chunk := 8 * c.B()
+	leaves := (words + chunk - 1) / chunk
+	c.ForkN(leaves, func(l int, c *rws.Ctx) {
+		lo := l * chunk
+		hi := lo + chunk
+		if hi > words {
+			hi = words
+		}
+		c.Node()
+		c.ReadRange(src+mem.Addr(lo), hi-lo)
+		c.Work(machine.Tick(hi - lo))
+		mm := c.Mem()
+		for i := lo; i < hi; i++ {
+			mm.StoreFloat(dst+mem.Addr(i), mm.LoadFloat(src+mem.Addr(i)))
+		}
+		c.WriteRange(dst+mem.Addr(lo), hi-lo)
+	})
+}
+
+// omega returns e^{-2πi·k/n}, the forward-DFT root of unity.
+func omega(n, k int) complex128 {
+	ang := -2 * math.Pi * float64(k%n) / float64(n)
+	return cmplx.Exp(complex(0, ang))
+}
+
+// kernel computes an in-place iterative radix-2 FFT of size m (a power of
+// two ≤ Base): one streamed read, m·log m work, one streamed write.
+func kernel(c *rws.Ctx, arr mem.Addr, m int) {
+	c.Node()
+	c.ReadRange(arr, 2*m)
+	c.Work(machine.Tick(5 * m * log2(m+1)))
+	mm := c.Mem()
+	v := make([]complex128, m)
+	for i := range v {
+		v[i] = complex(mm.LoadFloat(arr+mem.Addr(2*i)), mm.LoadFloat(arr+mem.Addr(2*i+1)))
+	}
+	fftSlice(v)
+	for i, x := range v {
+		mm.StoreFloat(arr+mem.Addr(2*i), real(x))
+		mm.StoreFloat(arr+mem.Addr(2*i+1), imag(x))
+	}
+	c.WriteRange(arr, 2*m)
+}
+
+// fftSlice is the host-side iterative Cooley-Tukey used by the kernel and by
+// the Sequential oracle.
+func fftSlice(v []complex128) {
+	m := len(v)
+	// Bit reversal.
+	for i, j := 1, 0; i < m; i++ {
+		bit := m >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+	for span := 2; span <= m; span <<= 1 {
+		step := omega(span, 1)
+		for start := 0; start < m; start += span {
+			w := complex(1, 0)
+			for off := 0; off < span/2; off++ {
+				a := v[start+off]
+				b := v[start+off+span/2] * w
+				v[start+off] = a + b
+				v[start+off+span/2] = a - b
+				w *= step
+			}
+		}
+	}
+}
+
+// Sequential computes the DFT of in by the same radix-2 method (oracle for
+// the simulated algorithm; itself validated against the naive DFT in tests).
+func Sequential(in []complex128) []complex128 {
+	out := append([]complex128(nil), in...)
+	fftSlice(out)
+	return out
+}
+
+// NaiveDFT is the O(n²) definition, used to validate everything else.
+func NaiveDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += in[j] * omega(n, j*k)
+		}
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func runFFT(p int, seed int64, in []complex128) ([]complex128, rws.Result) {
+	n := len(in)
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWords(n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	arr := mm.Alloc.Alloc(2 * n)
+	for i, v := range in {
+		mm.Mem.StoreFloat(arr+mem.Addr(2*i), real(v))
+		mm.Mem.StoreFloat(arr+mem.Addr(2*i+1), imag(v))
+	}
+	res := e.Run(Build(arr, n))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(mm.Mem.LoadFloat(arr+mem.Addr(2*i)), mm.Mem.LoadFloat(arr+mem.Addr(2*i+1)))
+	}
+	return out, res
+}
+
+func TestHostKernelAgainstNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		in := randComplex(n, int64(n))
+		if e := maxErr(Sequential(in), NaiveDFT(in)); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: radix-2 vs naive DFT error %g", n, e)
+		}
+	}
+}
+
+func TestSimulatedFFTMatchesOracle(t *testing.T) {
+	for _, n := range []int{16, 32, 64, 256, 1024} {
+		for _, p := range []int{1, 4} {
+			in := randComplex(n, int64(n+p))
+			got, _ := runFFT(p, 3, in)
+			want := Sequential(in)
+			if e := maxErr(got, want); e > 1e-9*float64(n) {
+				t.Fatalf("n=%d p=%d: error %g", n, p, e)
+			}
+		}
+	}
+}
+
+func TestSimulatedFFTNonSquareSplit(t *testing.T) {
+	// n = 2^odd exercises n1 != n2.
+	for _, n := range []int{32, 128, 512} {
+		in := randComplex(n, 77)
+		got, _ := runFFT(8, 5, in)
+		if e := maxErr(got, Sequential(in)); e > 1e-9*float64(n) {
+			t.Fatalf("n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// FFT(a + s·b) == FFT(a) + s·FFT(b), computed entirely in simulation.
+	n := 64
+	a := randComplex(n, 1)
+	b := randComplex(n, 2)
+	s := complex(0.5, -2)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + s*b[i]
+	}
+	fa, _ := runFFT(4, 1, a)
+	fb, _ := runFFT(4, 2, b)
+	fsum, _ := runFFT(4, 3, sum)
+	for i := range fsum {
+		want := fa[i] + s*fb[i]
+		if cmplx.Abs(fsum[i]-want) > 1e-8*float64(n) {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestFFTImpulseAndConstant(t *testing.T) {
+	n := 128
+	impulse := make([]complex128, n)
+	impulse[0] = 1
+	got, _ := runFFT(4, 9, impulse)
+	for i, v := range got {
+		if cmplx.Abs(v-1) > 1e-9 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+	constant := make([]complex128, n)
+	for i := range constant {
+		constant[i] = 1
+	}
+	got, _ = runFFT(4, 10, constant)
+	if cmplx.Abs(got[0]-complex(float64(n), 0)) > 1e-9*float64(n) {
+		t.Fatalf("constant FFT DC bin = %v, want %d", got[0], n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(got[i]) > 1e-9*float64(n) {
+			t.Fatalf("constant FFT bin %d = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	n := 256
+	in := randComplex(n, 4)
+	out, _ := runFFT(8, 6, in)
+	var et, ef float64
+	for i := range in {
+		et += real(in[i])*real(in[i]) + imag(in[i])*imag(in[i])
+		ef += real(out[i])*real(out[i]) + imag(out[i])*imag(out[i])
+	}
+	if math.Abs(ef-float64(n)*et) > 1e-6*ef {
+		t.Fatalf("Parseval violated: time %g, freq %g (n=%d)", et, ef, n)
+	}
+}

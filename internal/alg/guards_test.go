@@ -1,0 +1,99 @@
+// Package alg_test verifies the precondition guards of every algorithm
+// package: misuse must fail loudly at Build time, not corrupt a simulation.
+package alg_test
+
+import (
+	"testing"
+
+	"rwsfs/internal/alg/conncomp"
+	"rwsfs/internal/alg/convert"
+	"rwsfs/internal/alg/fft"
+	"rwsfs/internal/alg/listrank"
+	"rwsfs/internal/alg/matmul"
+	"rwsfs/internal/alg/prefix"
+	"rwsfs/internal/alg/sorthbp"
+	"rwsfs/internal/alg/transpose"
+	"rwsfs/internal/layout"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/mem"
+)
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func testMats(kinds ...layout.Kind) []matrix.Mat {
+	m := mem.New(16)
+	al := mem.NewAllocator(m)
+	out := make([]matrix.Mat, len(kinds))
+	for i, k := range kinds {
+		out[i] = matrix.New(al, 8, k)
+	}
+	return out
+}
+
+func TestMatmulGuards(t *testing.T) {
+	bi := testMats(layout.BitInterleaved, layout.BitInterleaved, layout.BitInterleaved)
+	rm := testMats(layout.RowMajor, layout.BitInterleaved, layout.BitInterleaved)
+	expectPanic(t, "RM operand", func() {
+		matmul.Build(matmul.DefaultConfig(matmul.DepthLog2), rm[0], rm[1], rm[2])
+	})
+	expectPanic(t, "bad base", func() {
+		matmul.Build(matmul.Config{Variant: matmul.DepthLog2, Base: 0}, bi[0], bi[1], bi[2])
+	})
+	expectPanic(t, "dim mismatch", func() {
+		m := mem.New(16)
+		al := mem.NewAllocator(m)
+		a := matrix.New(al, 8, layout.BitInterleaved)
+		b := matrix.New(al, 4, layout.BitInterleaved)
+		matmul.Build(matmul.DefaultConfig(matmul.DepthLog2), a, b, a)
+	})
+	expectPanic(t, "unknown variant", func() {
+		matmul.Build(matmul.Config{Variant: matmul.Variant(99), Base: 4}, bi[0], bi[1], bi[2])
+	})
+}
+
+func TestConvertGuards(t *testing.T) {
+	ms := testMats(layout.RowMajor, layout.RowMajor)
+	expectPanic(t, "RMToBI wrong dst layout", func() { convert.RMToBI(ms[0], ms[1]) })
+	bi := testMats(layout.BitInterleaved, layout.BitInterleaved)
+	expectPanic(t, "BIToRM wrong dst layout", func() { convert.BIToRM(bi[0], bi[1]) })
+}
+
+func TestTransposeGuard(t *testing.T) {
+	ms := testMats(layout.RowMajor)
+	expectPanic(t, "transpose RM", func() { transpose.Build(ms[0]) })
+}
+
+func TestPrefixGuard(t *testing.T) {
+	expectPanic(t, "prefix n=0", func() { prefix.Build(prefix.Config{}, 0, 0, 0) })
+}
+
+func TestSortGuards(t *testing.T) {
+	expectPanic(t, "unknown sort", func() { sorthbp.Build(sorthbp.Algorithm(42), 0, 8) })
+	expectPanic(t, "unknown stack words", func() { sorthbp.StackWords(sorthbp.Algorithm(42), 8) })
+}
+
+func TestFFTGuards(t *testing.T) {
+	expectPanic(t, "fft non-power", func() { fft.Build(0, 12) })
+	expectPanic(t, "fft zero", func() { fft.Build(0, 0) })
+}
+
+func TestListRankGuard(t *testing.T) {
+	expectPanic(t, "listrank n=0", func() { listrank.Build(0, 0, 0) })
+}
+
+func TestConnCompGuard(t *testing.T) {
+	expectPanic(t, "conncomp empty", func() { conncomp.Build(conncomp.Layout{}) })
+}
+
+func TestMachineGuards(t *testing.T) {
+	expectPanic(t, "MustNew bad params", func() { machine.MustNew(machine.Params{}) })
+}

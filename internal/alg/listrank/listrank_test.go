@@ -1,0 +1,107 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+func runRank(p int, seed int64, next []int64) ([]int64, rws.Result) {
+	n := len(next)
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWords(n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	nextA := mm.Alloc.Alloc(n)
+	rankA := mm.Alloc.Alloc(n)
+	for i, v := range next {
+		mm.Mem.StoreInt(nextA+mem.Addr(i), v)
+	}
+	res := e.Run(Build(nextA, rankA, n))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = mm.Mem.LoadInt(rankA + mem.Addr(i))
+	}
+	return out, res
+}
+
+func check(t *testing.T, label string, next []int64, got []int64) {
+	t.Helper()
+	want := Sequential(next)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank[%d]=%d want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	next := []int64{1} // node 0 -> nil
+	got, _ := runRank(2, 1, next)
+	check(t, "single", next, got)
+}
+
+func TestInOrderList(t *testing.T) {
+	n := 300
+	next := make([]int64, n)
+	for i := range next {
+		next[i] = int64(i + 1)
+	}
+	got, _ := runRank(4, 3, next)
+	check(t, "in-order", next, got)
+}
+
+func TestRandomListsAcrossProcs(t *testing.T) {
+	for _, n := range []int{2, 17, 64, 500, 1024} {
+		for _, p := range []int{1, 4, 8} {
+			next := RandomList(n, int64(n*p+1))
+			got, _ := runRank(p, 7, next)
+			check(t, "random", next, got)
+		}
+	}
+}
+
+func TestMultipleDisjointLists(t *testing.T) {
+	// Two independent lists inside one array: 0->1->2->nil, 5->4->3->nil.
+	next := []int64{1, 2, 6, 6, 3, 4}
+	got, _ := runRank(4, 2, next)
+	check(t, "disjoint", next, got)
+}
+
+func TestRanksArePermutationProperty(t *testing.T) {
+	// For a single list, the ranks must be exactly {0, 1, ..., n-1}.
+	f := func(seed uint8, sz uint8) bool {
+		n := int(sz)%200 + 1
+		next := RandomList(n, int64(seed)+1)
+		got, _ := runRank(4, int64(seed), next)
+		seen := make([]bool, n)
+		for _, r := range got {
+			if r < 0 || r >= int64(n) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialOracleSelfConsistent(t *testing.T) {
+	next := RandomList(100, 9)
+	rank := Sequential(next)
+	// rank[i] == rank[next[i]] + 1 for non-tail nodes.
+	for i, nx := range next {
+		if nx == int64(len(next)) {
+			if rank[i] != 0 {
+				t.Fatalf("tail rank %d", rank[i])
+			}
+		} else if rank[i] != rank[nx]+1 {
+			t.Fatalf("rank[%d]=%d but rank[next]=%d", i, rank[i], rank[nx])
+		}
+	}
+}

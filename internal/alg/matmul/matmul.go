@@ -1,0 +1,264 @@
+// Package matmul implements the three matrix-multiplication algorithms
+// analyzed in Sections 3 and 7 of the paper, over the BI layout:
+//
+//   - InPlaceDepthN: the classical depth-n in-place algorithm from
+//     Frigo-Leiserson-Prokop-Ramachandran: two sequenced collections of four
+//     parallel recursive C += A·B subproblems. It is *not* limited-access
+//     (each output word is written n times), included as the baseline whose
+//     block-delay the paper says is unclear how to bound.
+//   - LimitedAccessDepthN: the paper's modification: each recursive call
+//     stores its two groups' results in local arrays U and V on its execution
+//     stack and then adds U+V into the parent's array, making every writable
+//     variable O(1)-written (Property 4.1) at the cost of ~2x operations and
+//     stack space.
+//   - DepthLog2: the depth-log²n algorithm: all eight recursive products run
+//     in one parallel collection (into U and V), followed by a parallel
+//     addition tree. Far fewer steals (Lemma 7.1) at higher space.
+//
+// All three share W = Θ(n³) and sequential cache misses Q = O(n³/(B·√M)).
+package matmul
+
+import (
+	"fmt"
+
+	"rwsfs/internal/layout"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// Variant selects the algorithm.
+type Variant int
+
+const (
+	InPlaceDepthN Variant = iota
+	LimitedAccessDepthN
+	DepthLog2
+)
+
+func (v Variant) String() string {
+	switch v {
+	case InPlaceDepthN:
+		return "inplace-depth-n"
+	case LimitedAccessDepthN:
+		return "limited-access-depth-n"
+	case DepthLog2:
+		return "depth-log2n"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Config holds algorithm parameters.
+type Config struct {
+	Variant Variant
+	// Base is the side length at which recursion bottoms out into a direct
+	// kernel. The paper notes a base case of 10x10 keeps the limited-access
+	// variant's operation overhead under 1%; any Base >= 1 is allowed.
+	Base int
+}
+
+// DefaultConfig returns variant v with an 8x8 base case.
+func DefaultConfig(v Variant) Config { return Config{Variant: v, Base: 8} }
+
+// StackWords estimates the execution-stack words a task multiplying n x n
+// matrices needs under cfg: the limited-access variants keep two local n²
+// arrays per level of the current path, a geometric series summing to
+// (8/3)n², plus fork bookkeeping.
+func (cfg Config) StackWords(n int) int {
+	if cfg.Variant == InPlaceDepthN {
+		return 64*n + 1024 // join cells and O(1) locals only
+	}
+	return 3*n*n + 64*n + 1024
+}
+
+// Build returns the root function computing out = a·b under cfg. a, b and
+// out must be BI-layout matrices of equal power-of-two size. For
+// InPlaceDepthN the caller must zero out first (host-side) since the
+// algorithm accumulates.
+func Build(cfg Config, a, b, out matrix.Mat) func(*rws.Ctx) {
+	if a.Layout != layout.BitInterleaved || b.Layout != layout.BitInterleaved || out.Layout != layout.BitInterleaved {
+		panic("matmul: all matrices must be BI layout (Section 3 of the paper)")
+	}
+	if a.N != b.N || a.N != out.N {
+		panic("matmul: dimension mismatch")
+	}
+	if cfg.Base < 1 {
+		panic("matmul: base case must be >= 1")
+	}
+	switch cfg.Variant {
+	case InPlaceDepthN:
+		return func(c *rws.Ctx) { mmInPlace(c, cfg, a, b, out) }
+	case LimitedAccessDepthN:
+		return func(c *rws.Ctx) { mmLocal(c, cfg, a, b, out, false) }
+	case DepthLog2:
+		return func(c *rws.Ctx) { mmLocal(c, cfg, a, b, out, true) }
+	}
+	panic("matmul: unknown variant")
+}
+
+// prodArgs lists the eight quadrant products of C = A·B: C_q gets
+// group-1 term A_x·B_y and group-2 term A_x'·B_y'.
+var group1 = [4][2]layout.Quadrant{
+	{layout.QTL, layout.QTL}, // C11 += A11*B11
+	{layout.QTL, layout.QTR}, // C12 += A11*B12
+	{layout.QBL, layout.QTL}, // C21 += A21*B11
+	{layout.QBL, layout.QTR}, // C22 += A21*B12
+}
+
+var group2 = [4][2]layout.Quadrant{
+	{layout.QTR, layout.QBL}, // C11 += A12*B21
+	{layout.QTR, layout.QBR}, // C12 += A12*B22
+	{layout.QBR, layout.QBL}, // C21 += A22*B21
+	{layout.QBR, layout.QBR}, // C22 += A22*B22
+}
+
+// mmInPlace is the depth-n in-place algorithm: out += a·b.
+func mmInPlace(c *rws.Ctx, cfg Config, a, b, out matrix.Mat) {
+	n := a.N
+	if n <= cfg.Base {
+		kernel(c, a, b, out, true)
+		return
+	}
+	hint := func(lo, hi int) int { return (hi - lo) * cfg.StackWords(n/2) }
+	for _, grp := range [2][4][2]layout.Quadrant{group1, group2} {
+		grp := grp
+		c.ForkNHint(4, hint, func(i int, c *rws.Ctx) {
+			q := layout.Quadrant(i)
+			mmInPlace(c, cfg, a.Quad(grp[i][0]), b.Quad(grp[i][1]), out.Quad(q))
+		})
+	}
+}
+
+// mmLocal implements both limited-access variants: out = a·b, with the two
+// groups' results collected in stack-local arrays U and V and added into out.
+// If oneCollection, all eight products fork together (depth log²n);
+// otherwise the two groups are sequenced (depth n).
+func mmLocal(c *rws.Ctx, cfg Config, a, b, out matrix.Mat, oneCollection bool) {
+	n := a.N
+	if n <= cfg.Base {
+		kernel(c, a, b, out, false)
+		return
+	}
+	uSeg := c.Alloc(n * n)
+	vSeg := c.Alloc(n * n)
+	u := matrix.Mat{Base: uSeg.Base, N: n, Layout: layout.BitInterleaved}
+	v := matrix.Mat{Base: vSeg.Base, N: n, Layout: layout.BitInterleaved}
+	hint := func(lo, hi int) int { return (hi - lo) * cfg.StackWords(n/2) }
+	if oneCollection {
+		c.ForkNHint(8, hint, func(i int, c *rws.Ctx) {
+			if i < 4 {
+				q := layout.Quadrant(i)
+				mmLocal(c, cfg, a.Quad(group1[i][0]), b.Quad(group1[i][1]), u.Quad(q), true)
+			} else {
+				q := layout.Quadrant(i - 4)
+				mmLocal(c, cfg, a.Quad(group2[i-4][0]), b.Quad(group2[i-4][1]), v.Quad(q), true)
+			}
+		})
+	} else {
+		c.ForkNHint(4, hint, func(i int, c *rws.Ctx) {
+			q := layout.Quadrant(i)
+			mmLocal(c, cfg, a.Quad(group1[i][0]), b.Quad(group1[i][1]), u.Quad(q), false)
+		})
+		c.ForkNHint(4, hint, func(i int, c *rws.Ctx) {
+			q := layout.Quadrant(i)
+			mmLocal(c, cfg, a.Quad(group2[i][0]), b.Quad(group2[i][1]), v.Quad(q), false)
+		})
+	}
+	AddInto(c, out, u, v)
+	c.Free(vSeg)
+	c.Free(uSeg)
+}
+
+// kernel is the base-case multiply on BI-contiguous operands: out = a·b, or
+// out += a·b when accumulate is set. It times one streaming pass over each
+// operand, then computes on the (now charged) values directly.
+func kernel(c *rws.Ctx, a, b, out matrix.Mat, accumulate bool) {
+	m := a.N
+	words := m * m
+	c.Node()
+	c.ReadRange(a.Base, words)
+	c.ReadRange(b.Base, words)
+	if accumulate {
+		c.ReadRange(out.Base, words)
+	}
+	c.Work(machine.Tick(2 * m * m * m))
+
+	mm := c.Mem()
+	// Stage into row-major host scratch to keep the triple loop simple.
+	av := unpack(mm, a)
+	bv := unpack(mm, b)
+	var ov []float64
+	if accumulate {
+		ov = unpack(mm, out)
+	} else {
+		ov = make([]float64, words)
+	}
+	for i := 0; i < m; i++ {
+		for k := 0; k < m; k++ {
+			aik := av[i*m+k]
+			if aik == 0 {
+				continue
+			}
+			row := bv[k*m:]
+			orow := ov[i*m:]
+			for j := 0; j < m; j++ {
+				orow[j] += aik * row[j]
+			}
+		}
+	}
+	pack(mm, out, ov)
+	c.WriteRange(out.Base, words)
+}
+
+// unpack copies a BI-contiguous matrix into a row-major host slice.
+func unpack(mm *mem.Memory, m matrix.Mat) []float64 {
+	out := make([]float64, m.N*m.N)
+	for r := 0; r < m.N; r++ {
+		for cc := 0; cc < m.N; cc++ {
+			out[r*m.N+cc] = mm.LoadFloat(m.Base + mem.Addr(layout.MortonIndex(r, cc)))
+		}
+	}
+	return out
+}
+
+// pack copies a row-major host slice into a BI-contiguous matrix.
+func pack(mm *mem.Memory, m matrix.Mat, vals []float64) {
+	for r := 0; r < m.N; r++ {
+		for cc := 0; cc < m.N; cc++ {
+			mm.StoreFloat(m.Base+mem.Addr(layout.MortonIndex(r, cc)), vals[r*m.N+cc])
+		}
+	}
+}
+
+// AddInto computes out = x + y elementwise over BI-contiguous matrices using
+// a balanced fork tree over contiguous chunks: the parallel matrix-addition
+// subroutine of the limited-access algorithms. Writes follow the Regular
+// Pattern (leaf i writes chunk i), so each stolen add-task shares O(1)
+// writable blocks with other tasks.
+func AddInto(c *rws.Ctx, out, x, y matrix.Mat) {
+	words := out.Words()
+	chunk := 4 * c.B()
+	if chunk > words {
+		chunk = words
+	}
+	leaves := (words + chunk - 1) / chunk
+	c.ForkN(leaves, func(i int, c *rws.Ctx) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > words {
+			hi = words
+		}
+		n := hi - lo
+		c.Node()
+		c.ReadRange(x.Base+mem.Addr(lo), n)
+		c.ReadRange(y.Base+mem.Addr(lo), n)
+		c.Work(machine.Tick(n))
+		mm := c.Mem()
+		for j := lo; j < hi; j++ {
+			mm.StoreFloat(out.Base+mem.Addr(j),
+				mm.LoadFloat(x.Base+mem.Addr(j))+mm.LoadFloat(y.Base+mem.Addr(j)))
+		}
+		c.WriteRange(out.Base+mem.Addr(lo), n)
+	})
+}

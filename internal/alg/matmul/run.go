@@ -1,0 +1,30 @@
+package matmul
+
+import (
+	"rwsfs/internal/layout"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/rws"
+)
+
+// Run multiplies host matrices a and b on a fresh simulated machine under
+// engine configuration ecfg and algorithm configuration cfg, returning the
+// run metrics and the computed product. It sizes the root stack for the
+// variant automatically.
+func Run(ecfg rws.Config, cfg Config, a, b [][]float64) (rws.Result, [][]float64) {
+	n := len(a)
+	if ecfg.RootStackWords < cfg.StackWords(n) {
+		ecfg.RootStackWords = cfg.StackWords(n)
+	}
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	am := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	bm := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	om := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	am.Fill(mm.Mem, a)
+	bm.Fill(mm.Mem, b)
+	if cfg.Variant == InPlaceDepthN {
+		om.Zero(mm.Mem)
+	}
+	res := e.Run(Build(cfg, am, bm, om))
+	return res, om.Read(mm.Mem)
+}

@@ -1,0 +1,178 @@
+// Package prefix implements parallel prefix sums as the sequence of two BP
+// computations with the Regular Pattern for global variable access described
+// in Section 6.1 of the paper: an up-pass tree computing partial sums and a
+// down-pass tree distributing offsets, with the ith leaf owning the ith
+// a-word chunk of the input and output arrays.
+//
+// It is the paper's canonical Type-1 (BP) algorithm: W = O(n), Q = O(n/B),
+// T∞ = O(log n), steal bound S = O(p((b+s)/s·log n + (b/s)·B)(1+a))
+// (Theorem 7.1(i)).
+//
+// The package also implements the padded-BP variant of Remark 4.1: each
+// internal node additionally declares a √r-word array on the execution
+// stack, trading stack space for fewer block collisions among node segments.
+package prefix
+
+import (
+	"math"
+
+	"rwsfs/internal/exec"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// Config parameterizes the prefix-sum computation.
+type Config struct {
+	// Chunk is the Regular Pattern constant a: each leaf owns Chunk words of
+	// input and output. Defaults to 4 when zero.
+	Chunk int
+	// Padded enables Remark 4.1's padded-BP node segments.
+	Padded bool
+}
+
+// Build returns the task computing inclusive prefix sums of the n int64
+// words at in into out. The partials tree lives on the calling task's
+// execution stack (it is local to the caller and global w.r.t. the tree
+// nodes, exactly the paper's variable discipline).
+func Build(cfg Config, in, out mem.Addr, n int) func(*rws.Ctx) {
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		chunk = 4
+	}
+	if n <= 0 {
+		panic("prefix: n must be positive")
+	}
+	return func(c *rws.Ctx) {
+		leaves := (n + chunk - 1) / chunk
+		// Partials indexed by heap position 1..2^ceil(log2 L)*2.
+		size := 2 * nextPow2(leaves)
+		pSeg := c.Alloc(size)
+		p := pSeg.Base
+
+		up(c, cfg, in, n, chunk, p, 1, 0, leaves)
+		down(c, cfg, in, out, n, chunk, p, 1, 0, leaves, 0)
+
+		c.Free(pSeg)
+	}
+}
+
+// StackWords estimates the stack demand of Build for an n-word input.
+func StackWords(cfg Config, n int) int {
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		chunk = 4
+	}
+	leaves := (n + chunk - 1) / chunk
+	base := 2*nextPow2(leaves) + 64*log2ceil(leaves+1) + 1024
+	if cfg.Padded {
+		base += 8 * leaves // geometric sum of sqrt-pads along the tree
+	}
+	return base
+}
+
+func nextPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
+}
+
+func log2ceil(x int) int {
+	l := 0
+	for (1 << l) < x {
+		l++
+	}
+	return l
+}
+
+// pad allocates Remark 4.1's √r-word dummy array for a node owning r leaves.
+func pad(c *rws.Ctx, cfg Config, r int) (exec.Seg, bool) {
+	if !cfg.Padded || r <= 1 {
+		return exec.Seg{}, false
+	}
+	w := int(math.Sqrt(float64(r))) + 1
+	return c.Alloc(w), true
+}
+
+func unpad(c *rws.Ctx, seg exec.Seg, ok bool) {
+	if ok {
+		c.Free(seg)
+	}
+}
+
+// up is the up-pass BP tree: node v covers leaves [lo, hi) and stores its
+// subtree sum at p+v.
+func up(c *rws.Ctx, cfg Config, in mem.Addr, n, chunk int, p mem.Addr, v, lo, hi int) {
+	if hi-lo == 1 {
+		a := lo * chunk
+		b := a + chunk
+		if b > n {
+			b = n
+		}
+		c.Node()
+		c.ReadRange(in+mem.Addr(a), b-a)
+		c.Work(machine.Tick(b - a))
+		mm := c.Mem()
+		var s int64
+		for i := a; i < b; i++ {
+			s += mm.LoadInt(in + mem.Addr(i))
+		}
+		c.StoreInt(p+mem.Addr(v), s)
+		return
+	}
+	sp, padded := pad(c, cfg, hi-lo)
+	mid := lo + (hi-lo)/2
+	c.Fork(
+		func(c *rws.Ctx) { up(c, cfg, in, n, chunk, p, 2*v, lo, mid) },
+		func(c *rws.Ctx) { up(c, cfg, in, n, chunk, p, 2*v+1, mid, hi) },
+	)
+	l := c.LoadInt(p + mem.Addr(2*v))
+	r := c.LoadInt(p + mem.Addr(2*v+1))
+	c.StoreInt(p+mem.Addr(v), l+r)
+	unpad(c, sp, padded)
+}
+
+// down is the down-pass BP tree: node v receives the sum of everything to
+// the left of its leaf range (off) and the ith leaf writes output chunk i
+// (the Regular Pattern).
+func down(c *rws.Ctx, cfg Config, in, out mem.Addr, n, chunk int, p mem.Addr, v, lo, hi int, off int64) {
+	if hi-lo == 1 {
+		a := lo * chunk
+		b := a + chunk
+		if b > n {
+			b = n
+		}
+		c.Node()
+		c.ReadRange(in+mem.Addr(a), b-a)
+		c.Work(machine.Tick(b - a))
+		mm := c.Mem()
+		s := off
+		for i := a; i < b; i++ {
+			s += mm.LoadInt(in + mem.Addr(i))
+			mm.StoreInt(out+mem.Addr(i), s)
+		}
+		c.WriteRange(out+mem.Addr(a), b-a)
+		return
+	}
+	sp, padded := pad(c, cfg, hi-lo)
+	mid := lo + (hi-lo)/2
+	lsum := c.LoadInt(p + mem.Addr(2*v))
+	c.Fork(
+		func(c *rws.Ctx) { down(c, cfg, in, out, n, chunk, p, 2*v, lo, mid, off) },
+		func(c *rws.Ctx) { down(c, cfg, in, out, n, chunk, p, 2*v+1, mid, hi, off+lsum) },
+	)
+	unpad(c, sp, padded)
+}
+
+// Sequential is the oracle.
+func Sequential(in []int64) []int64 {
+	out := make([]int64, len(in))
+	var s int64
+	for i, v := range in {
+		s += v
+		out[i] = s
+	}
+	return out
+}

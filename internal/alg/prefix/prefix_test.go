@@ -1,0 +1,135 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+func runPrefix(p int, seed int64, cfg Config, in []int64) ([]int64, rws.Result) {
+	n := len(in)
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWords(cfg, n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	inA := mm.Alloc.Alloc(n)
+	outA := mm.Alloc.Alloc(n)
+	for i, v := range in {
+		mm.Mem.StoreInt(inA+mem.Addr(i), v)
+	}
+	res := e.Run(Build(cfg, inA, outA, n))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = mm.Mem.LoadInt(outA + mem.Addr(i))
+	}
+	return out, res
+}
+
+func randInput(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(201) - 100)
+	}
+	return in
+}
+
+func TestPrefixCorrectAcrossSizesAndProcs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 255, 1024} {
+		for _, p := range []int{1, 2, 8} {
+			in := randInput(n, int64(n))
+			want := Sequential(in)
+			got, _ := runPrefix(p, 3, Config{}, in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d: out[%d]=%d want %d", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixChunkSizes(t *testing.T) {
+	in := randInput(500, 9)
+	want := Sequential(in)
+	for _, chunk := range []int{1, 2, 4, 16, 64} {
+		got, _ := runPrefix(4, 5, Config{Chunk: chunk}, in)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d: out[%d]=%d want %d", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrefixPaddedVariantCorrect(t *testing.T) {
+	in := randInput(777, 2)
+	want := Sequential(in)
+	got, _ := runPrefix(8, 4, Config{Padded: true}, in)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("padded: out[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPrefixQuickProperty(t *testing.T) {
+	// Property: simulated parallel prefix equals sequential for arbitrary
+	// inputs (sizes trimmed to keep runtime sane).
+	f := func(raw []int16, seed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		got, _ := runPrefix(4, int64(seed)+1, Config{}, in)
+		want := Sequential(in)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaddingReducesPeakBlockTraffic(t *testing.T) {
+	// Remark 4.1's point: padding node segments reduces how often a single
+	// stack block bounces between caches. Compare the max per-block transfer
+	// counts; padding should not make it worse.
+	in := randInput(2048, 13)
+	var plain, padded int64
+	for seed := int64(1); seed <= 5; seed++ {
+		_, r1 := runPrefix(8, seed, Config{Chunk: 1}, in)
+		_, r2 := runPrefix(8, seed, Config{Chunk: 1, Padded: true}, in)
+		plain += r1.BlockTransfersMax
+		padded += r2.BlockTransfersMax
+	}
+	t.Logf("max per-block transfers: plain=%d padded=%d", plain, padded)
+	if padded > plain*2 {
+		t.Errorf("padding made per-block traffic much worse: plain=%d padded=%d", plain, padded)
+	}
+}
+
+func TestSequentialOracle(t *testing.T) {
+	got := Sequential([]int64{1, -2, 3, 10})
+	want := []int64{1, -1, 2, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oracle broken at %d", i)
+		}
+	}
+}

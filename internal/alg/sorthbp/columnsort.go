@@ -1,0 +1,170 @@
+package sorthbp
+
+import (
+	"math"
+
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// colsort sorts the n words at arr ascending with Leighton's columnsort.
+//
+// The array is viewed as an r x s matrix stored column-major (so the flat
+// array sorted ascending equals the matrix sorted in column-major order).
+// Parameters satisfy Leighton's conditions: s | r and r >= 2(s-1)². The
+// eight steps are: (1) sort columns, (2) transpose-reshape, (3) sort,
+// (4) untranspose, (5) sort, (6) shift down by r/2 into an r x (s+1) matrix
+// bordered by -inf/+inf, (7) sort, (8) unshift.
+//
+// Each sorting step is a collection of parallel recursive sorts of the
+// (contiguous) columns — the HBP "collection of v(n) parallel recursive
+// subproblems of size s(n) ≈ n^(2/3)" — and each data-movement step is a BP
+// computation with Regular Pattern writes.
+func colsort(c *rws.Ctx, arr mem.Addr, n int) {
+	s := colsortS(n)
+	if n <= Base || s < 2 {
+		kernelSort(c, arr, n)
+		return
+	}
+	r := n / s
+
+	tmpSeg := c.Alloc(n)
+	tmp := tmpSeg.Base
+
+	sortColumns(c, arr, r, s)             // step 1
+	transposeReshape(c, arr, tmp, r, s)   // step 2: tmp <- reshaped arr
+	sortColumns(c, tmp, r, s)             // step 3
+	untransposeReshape(c, tmp, arr, r, s) // step 4: arr <- unreshaped tmp
+	sortColumns(c, arr, r, s)             // step 5
+
+	// Steps 6-8: shift by r/2 into an r x (s+1) matrix with -inf padding at
+	// the start and +inf at the end, sort its columns, unshift.
+	shSeg := c.Alloc(n + r)
+	sh := shSeg.Base
+	half := r / 2
+	fillConst(c, sh, half, math.MinInt64)
+	shiftCopy(c, arr, sh+mem.Addr(half), n) // step 6
+	fillConst(c, sh+mem.Addr(half+n), r-half, math.MaxInt64)
+	sortColumns(c, sh, r, s+1)              // step 7
+	shiftCopy(c, sh+mem.Addr(half), arr, n) // step 8
+
+	c.Free(shSeg)
+	c.Free(tmpSeg)
+}
+
+// colsortS picks s = 2^floor((log2(n)-1)/3) so that r = n/s is a multiple of
+// s and r >= 2(s-1)² holds for every power-of-two n; for non-powers of two
+// it falls back to the largest valid power of two.
+func colsortS(n int) int {
+	if n < 8 {
+		return 1
+	}
+	k := 0
+	for (1 << (k + 1)) <= n {
+		k++
+	}
+	s := 1 << ((k - 1) / 3)
+	for s >= 2 {
+		r := n / s
+		if n%s == 0 && r%s == 0 && r >= 2*(s-1)*(s-1) {
+			return s
+		}
+		s >>= 1
+	}
+	return 1
+}
+
+// sortColumns recursively sorts the cols contiguous columns of length r
+// starting at base: one parallel collection of recursive subproblems.
+func sortColumns(c *rws.Ctx, base mem.Addr, r, cols int) {
+	hint := func(lo, hi int) int { return (hi - lo) * StackWords(Columnsort, r) }
+	c.ForkNHint(cols, hint, func(j int, c *rws.Ctx) {
+		colsort(c, base+mem.Addr(j*r), r)
+	})
+}
+
+// transposeReshape implements step 2: scan src in column-major order and
+// deposit row by row, i.e. NEW element at row-major position t = OLD element
+// at column-major position t. In gather form over the column-major flat
+// arrays: dst[k] = src[(k mod r)·s + k div r]. Leaves write contiguous dst
+// chunks (Regular Pattern); reads stride by s through src.
+func transposeReshape(c *rws.Ctx, src, dst mem.Addr, r, s int) {
+	permute(c, src, dst, r*s, func(k int) int {
+		return (k%r)*s + k/r
+	})
+}
+
+// untransposeReshape implements step 4, the inverse of step 2:
+// dst[k] = src[(k mod s)·r + k div s].
+func untransposeReshape(c *rws.Ctx, src, dst mem.Addr, r, s int) {
+	permute(c, src, dst, r*s, func(k int) int {
+		return (k%s)*r + k/s
+	})
+}
+
+// permute writes dst[k] = src[f(k)] for k in [0, n): a BP computation whose
+// ith leaf writes the ith contiguous chunk of dst and performs timed
+// word-reads of the scattered sources.
+func permute(c *rws.Ctx, src, dst mem.Addr, n int, f func(int) int) {
+	chunk := 4 * c.B()
+	leaves := (n + chunk - 1) / chunk
+	c.ForkN(leaves, func(l int, c *rws.Ctx) {
+		lo := l * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.Node()
+		mm := c.Mem()
+		for k := lo; k < hi; k++ {
+			v := c.LoadInt(src + mem.Addr(f(k)))
+			mm.StoreInt(dst+mem.Addr(k), v)
+		}
+		c.WriteRange(dst+mem.Addr(lo), hi-lo)
+	})
+}
+
+// shiftCopy streams n words src -> dst in parallel chunks.
+func shiftCopy(c *rws.Ctx, src, dst mem.Addr, n int) {
+	chunk := 4 * c.B()
+	leaves := (n + chunk - 1) / chunk
+	c.ForkN(leaves, func(l int, c *rws.Ctx) {
+		lo := l * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.Node()
+		c.ReadRange(src+mem.Addr(lo), hi-lo)
+		c.Work(machine.Tick(hi - lo))
+		mm := c.Mem()
+		for k := lo; k < hi; k++ {
+			mm.StoreInt(dst+mem.Addr(k), mm.LoadInt(src+mem.Addr(k)))
+		}
+		c.WriteRange(dst+mem.Addr(lo), hi-lo)
+	})
+}
+
+// fillConst writes v into n words at base (one parallel pass).
+func fillConst(c *rws.Ctx, base mem.Addr, n int, v int64) {
+	if n <= 0 {
+		return
+	}
+	chunk := 4 * c.B()
+	leaves := (n + chunk - 1) / chunk
+	c.ForkN(leaves, func(l int, c *rws.Ctx) {
+		lo := l * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.Node()
+		c.Work(machine.Tick(hi - lo))
+		mm := c.Mem()
+		for k := lo; k < hi; k++ {
+			mm.StoreInt(base+mem.Addr(k), v)
+		}
+		c.WriteRange(base+mem.Addr(lo), hi-lo)
+	})
+}

@@ -1,0 +1,123 @@
+package sorthbp
+
+import (
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// msort sorts the n words at a; buf is an equally sized scratch range
+// (typically on an ancestor's execution stack). If intoBuf, the sorted output
+// lands in buf, else in a. The two recursive half-sorts deposit their results
+// in the opposite array so the merge ping-pongs without copying.
+func msort(c *rws.Ctx, a, buf mem.Addr, n int, intoBuf bool) {
+	if n <= Base {
+		kernelSort(c, a, n)
+		if intoBuf {
+			copyRange(c, buf, a, n)
+		}
+		return
+	}
+	h := n / 2
+	c.Fork(
+		func(c *rws.Ctx) { msort(c, a, buf, h, !intoBuf) },
+		func(c *rws.Ctx) { msort(c, a+mem.Addr(h), buf+mem.Addr(h), n-h, !intoBuf) },
+	)
+	src, dst := a, buf
+	if !intoBuf {
+		src, dst = buf, a
+	}
+	parMerge(c, src, h, src+mem.Addr(h), n-h, dst)
+}
+
+// copyRange copies n words src -> dst as one leaf-level streaming step.
+func copyRange(c *rws.Ctx, dst, src mem.Addr, n int) {
+	c.Node()
+	c.ReadRange(src, n)
+	c.Work(machine.Tick(n))
+	mm := c.Mem()
+	for i := 0; i < n; i++ {
+		mm.StoreInt(dst+mem.Addr(i), mm.LoadInt(src+mem.Addr(i)))
+	}
+	c.WriteRange(dst, n)
+}
+
+// parMerge merges the sorted runs x[0:nx) and y[0:ny) into out, as a BP
+// computation: leaf i produces output chunk i (Regular Pattern writes), with
+// its boundary located by co-ranking binary search (timed reads).
+func parMerge(c *rws.Ctx, x mem.Addr, nx int, y mem.Addr, ny int, out mem.Addr) {
+	total := nx + ny
+	chunk := 4 * c.B()
+	leaves := (total + chunk - 1) / chunk
+	c.ForkN(leaves, func(l int, c *rws.Ctx) {
+		lo := l * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		c.Node()
+		i := corank(c, lo, x, nx, y, ny)
+		j := lo - i
+		// Conservative streaming charge: the leaf consumes at most hi-lo
+		// elements from each run starting at (i, j).
+		rx := min(nx-i, hi-lo)
+		ry := min(ny-j, hi-lo)
+		c.ReadRange(x+mem.Addr(i), rx)
+		c.ReadRange(y+mem.Addr(j), ry)
+		c.Work(machine.Tick(hi - lo))
+		mm := c.Mem()
+		for k := lo; k < hi; k++ {
+			var v int64
+			switch {
+			case i >= nx:
+				v = mm.LoadInt(y + mem.Addr(j))
+				j++
+			case j >= ny:
+				v = mm.LoadInt(x + mem.Addr(i))
+				i++
+			case mm.LoadInt(x+mem.Addr(i)) <= mm.LoadInt(y+mem.Addr(j)):
+				v = mm.LoadInt(x + mem.Addr(i))
+				i++
+			default:
+				v = mm.LoadInt(y + mem.Addr(j))
+				j++
+			}
+			mm.StoreInt(out+mem.Addr(k), v)
+		}
+		c.WriteRange(out+mem.Addr(lo), hi-lo)
+	})
+}
+
+// corank returns i such that taking the first i elements of x and the first
+// k-i of y yields the first k elements of the stable merge (ties favour x).
+// Its O(log) probes are timed reads.
+func corank(c *rws.Ctx, k int, x mem.Addr, nx int, y mem.Addr, ny int) int {
+	lo := k - ny
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > nx {
+		hi = nx
+	}
+	for lo < hi {
+		i := (lo + hi + 1) / 2 // candidate elements from x
+		j := k - i
+		// Valid iff x[i-1] <= y[j] (stability: x first on ties).
+		if j >= ny || c.LoadInt(x+mem.Addr(i-1)) <= c.LoadInt(y+mem.Addr(j)) {
+			lo = i
+		} else {
+			hi = i - 1
+		}
+	}
+	// Additionally shrink while x[lo-1] > y[j-1]... not needed: the upper
+	// boundary is enforced by the next leaf's corank with the same rule.
+	return lo
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package sorthbp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+func runSort(p int, seed int64, alg Algorithm, in []int64) ([]int64, rws.Result) {
+	n := len(in)
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	ecfg.RootStackWords = StackWords(alg, n) + (1 << 12)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	arr := mm.Alloc.Alloc(n + 1)
+	for i, v := range in {
+		mm.Mem.StoreInt(arr+mem.Addr(i), v)
+	}
+	res := e.Run(Build(alg, arr, n))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = mm.Mem.LoadInt(arr + mem.Addr(i))
+	}
+	return out, res
+}
+
+func randKeys(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rng.Intn(2*n+1) - n)
+	}
+	return in
+}
+
+func checkSorted(t *testing.T, label string, in, got []int64) {
+	t.Helper()
+	want := Sequential(in)
+	if len(got) != len(want) {
+		t.Fatalf("%s: length mismatch", label)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: out[%d]=%d want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergesortCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 31, 32, 33, 100, 512, 1000} {
+		for _, p := range []int{1, 4, 8} {
+			in := randKeys(n, int64(n+p))
+			got, _ := runSort(p, 3, Mergesort, in)
+			checkSorted(t, "mergesort", in, got)
+		}
+	}
+}
+
+func TestColumnsortCorrectPowersOfTwo(t *testing.T) {
+	for _, n := range []int{16, 64, 128, 256, 1024, 4096} {
+		for _, p := range []int{1, 4} {
+			in := randKeys(n, int64(n+p))
+			got, _ := runSort(p, 5, Columnsort, in)
+			checkSorted(t, "columnsort", in, got)
+		}
+	}
+}
+
+func TestColumnsortOddSizesFallBack(t *testing.T) {
+	for _, n := range []int{1, 3, 17, 100, 321} {
+		in := randKeys(n, int64(n))
+		got, _ := runSort(4, 7, Columnsort, in)
+		checkSorted(t, "columnsort-odd", in, got)
+	}
+}
+
+func TestColumnsortAdversarialInputs(t *testing.T) {
+	n := 1024
+	inputs := map[string][]int64{
+		"sorted":    make([]int64, n),
+		"reversed":  make([]int64, n),
+		"allequal":  make([]int64, n),
+		"sawtooth":  make([]int64, n),
+		"twovalues": make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		inputs["sorted"][i] = int64(i)
+		inputs["reversed"][i] = int64(n - i)
+		inputs["allequal"][i] = 42
+		inputs["sawtooth"][i] = int64(i % 7)
+		inputs["twovalues"][i] = int64(i % 2)
+	}
+	for name, in := range inputs {
+		for _, alg := range []Algorithm{Mergesort, Columnsort} {
+			got, _ := runSort(8, 2, alg, in)
+			checkSorted(t, name+"/"+alg.String(), in, got)
+		}
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(raw []int32, pSel, seed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v)
+		}
+		p := []int{1, 2, 4, 8}[pSel%4]
+		got, _ := runSort(p, int64(seed)+1, Mergesort, in)
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			samePermutation(in, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func samePermutation(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := map[int64]int{}
+	for _, v := range a {
+		ca[v]++
+	}
+	for _, v := range b {
+		ca[v]--
+	}
+	for _, n := range ca {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestColumnsortParamValidity(t *testing.T) {
+	// For every power of two up to 2^20, the chosen s must satisfy
+	// Leighton's conditions, or be 1 (kernel fallback).
+	for k := 3; k <= 20; k++ {
+		n := 1 << k
+		s := colsortS(n)
+		if s == 1 {
+			if n > 8 {
+				t.Errorf("n=2^%d: no valid s found", k)
+			}
+			continue
+		}
+		r := n / s
+		if n%s != 0 || r%s != 0 {
+			t.Errorf("n=2^%d: s=%d does not divide evenly (r=%d)", k, s, r)
+		}
+		if r < 2*(s-1)*(s-1) {
+			t.Errorf("n=2^%d: r=%d < 2(s-1)^2 with s=%d", k, r, s)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Mergesort.String() != "mergesort" || Columnsort.String() != "columnsort" {
+		t.Error("bad names")
+	}
+}

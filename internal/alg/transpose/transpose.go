@@ -1,0 +1,105 @@
+// Package transpose implements in-place transposition of a BI-layout matrix,
+// the BP (tree) algorithm of Theorem 7.1(ii). In the BI layout every aligned
+// quadrant is contiguous, so the recursion
+//
+//	T(A) = [ T(A11)  swapT(A12, A21) ; ...  T(A22) ]
+//
+// touches contiguous ranges at every level and each stolen subtask writes to
+// O(1) blocks shared with its parent — the property that gives the O(S·B)
+// block-delay bound.
+package transpose
+
+import (
+	"rwsfs/internal/layout"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/mem"
+	"rwsfs/internal/rws"
+)
+
+// Base is the side length at which recursion switches to a direct kernel.
+const Base = 8
+
+// Build returns the task transposing a (BI layout, power-of-two n) in place.
+func Build(a matrix.Mat) func(*rws.Ctx) {
+	if a.Layout != layout.BitInterleaved {
+		panic("transpose: requires BI layout")
+	}
+	return func(c *rws.Ctx) { rec(c, a) }
+}
+
+func rec(c *rws.Ctx, a matrix.Mat) {
+	if a.N <= Base {
+		kernelInPlace(c, a)
+		return
+	}
+	c.ForkN(3, func(i int, c *rws.Ctx) {
+		switch i {
+		case 0:
+			rec(c, a.Quad(layout.QTL))
+		case 1:
+			rec(c, a.Quad(layout.QBR))
+		case 2:
+			swapT(c, a.Quad(layout.QTR), a.Quad(layout.QBL))
+		}
+	})
+}
+
+// swapT sets p, q = qᵀ, pᵀ for two disjoint BI submatrices.
+func swapT(c *rws.Ctx, p, q matrix.Mat) {
+	if p.N <= Base {
+		kernelSwapT(c, p, q)
+		return
+	}
+	// pᵀ's (i,j) quadrant is p's (j,i) quadrant transposed.
+	c.ForkN(4, func(i int, c *rws.Ctx) {
+		switch layout.Quadrant(i) {
+		case layout.QTL:
+			swapT(c, p.Quad(layout.QTL), q.Quad(layout.QTL))
+		case layout.QTR:
+			swapT(c, p.Quad(layout.QTR), q.Quad(layout.QBL))
+		case layout.QBL:
+			swapT(c, p.Quad(layout.QBL), q.Quad(layout.QTR))
+		case layout.QBR:
+			swapT(c, p.Quad(layout.QBR), q.Quad(layout.QBR))
+		}
+	})
+}
+
+func kernelInPlace(c *rws.Ctx, a matrix.Mat) {
+	m := a.N
+	c.Node()
+	c.ReadRange(a.Base, m*m)
+	c.Work(machine.Tick(m * m))
+	mm := c.Mem()
+	for r := 0; r < m; r++ {
+		for cc := r + 1; cc < m; cc++ {
+			i := a.Base + mem.Addr(layout.MortonIndex(r, cc))
+			j := a.Base + mem.Addr(layout.MortonIndex(cc, r))
+			vi, vj := mm.LoadFloat(i), mm.LoadFloat(j)
+			mm.StoreFloat(i, vj)
+			mm.StoreFloat(j, vi)
+		}
+	}
+	c.WriteRange(a.Base, m*m)
+}
+
+func kernelSwapT(c *rws.Ctx, p, q matrix.Mat) {
+	m := p.N
+	c.Node()
+	c.ReadRange(p.Base, m*m)
+	c.ReadRange(q.Base, m*m)
+	c.Work(machine.Tick(2 * m * m))
+	mm := c.Mem()
+	for r := 0; r < m; r++ {
+		for cc := 0; cc < m; cc++ {
+			i := p.Base + mem.Addr(layout.MortonIndex(r, cc))
+			j := q.Base + mem.Addr(layout.MortonIndex(cc, r))
+			vi, vj := mm.LoadFloat(i), mm.LoadFloat(j)
+			mm.StoreFloat(i, vj)
+			mm.StoreFloat(j, vi)
+		}
+	}
+	c.WriteRange(p.Base, m*m)
+	c.WriteRange(q.Base, m*m)
+}

@@ -1,0 +1,63 @@
+package transpose
+
+import (
+	"testing"
+
+	"rwsfs/internal/layout"
+	"rwsfs/internal/matrix"
+	"rwsfs/internal/rws"
+)
+
+func runTranspose(p int, seed int64, n int) ([][]float64, [][]float64, rws.Result) {
+	ecfg := rws.DefaultConfig(p)
+	ecfg.Seed = seed
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	a := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	vals := matrix.Random(n, seed+31)
+	a.Fill(mm.Mem, vals)
+	res := e.Run(Build(a))
+	return vals, a.Read(mm.Mem), res
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		for _, p := range []int{1, 4, 8} {
+			in, got, _ := runTranspose(p, 7, n)
+			want := matrix.Transpose(in)
+			if !matrix.Equal(got, want) {
+				t.Fatalf("n=%d p=%d: wrong transpose", n, p)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Transposing twice is the identity.
+	n := 32
+	ecfg := rws.DefaultConfig(4)
+	e := rws.MustNewEngine(ecfg)
+	mm := e.Machine()
+	a := matrix.New(mm.Alloc, n, layout.BitInterleaved)
+	vals := matrix.Random(n, 5)
+	a.Fill(mm.Mem, vals)
+	e.Run(func(c *rws.Ctx) {
+		Build(a)(c)
+		Build(a)(c)
+	})
+	if !matrix.Equal(vals, a.Read(mm.Mem)) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestTransposeManySeedsParallel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in, got, res := runTranspose(8, seed, 64)
+		if !matrix.Equal(got, matrix.Transpose(in)) {
+			t.Fatalf("seed=%d: wrong transpose", seed)
+		}
+		if res.Steals == 0 {
+			t.Errorf("seed=%d: expected steals at p=8", seed)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package analysis evaluates the closed-form bounds proved in the paper so
+// experiments can print predicted-vs-measured rows. Every function cites the
+// lemma or theorem it encodes. Bounds are asymptotic; these evaluators drop
+// the O(·) and return the bound's *shape* (the parenthesized expression with
+// unit constants), which is what the reproduction compares growth against.
+package analysis
+
+import "math"
+
+// Costs carries the machine cost parameters in the paper's notation.
+type Costs struct {
+	B  int     // words per block
+	M  int     // words per cache
+	Cb float64 // b: cost of one cache miss
+	Cs float64 // s: cost of one steal (s >= b)
+}
+
+// HRootGeneral returns h(t) for an arbitrary series-parallel computation per
+// Section 5: h(t) = O((1 + (b/s)·E)·T∞), where E bounds the cache+block miss
+// cost of any single node (E = O(B) for the paper's algorithm class).
+func HRootGeneral(tinf float64, e float64, c Costs) float64 {
+	return (1 + c.Cb*e/c.Cs) * tinf
+}
+
+// StealBoundGeneral returns the Theorem 5.1 steal bound shape
+// S = O(p·h(t)·(1+a)); the probability of exceeding it is 2^{-Θ(a·h(t))}.
+func StealBoundGeneral(p int, h float64, a float64) float64 {
+	return float64(p) * h * (1 + a)
+}
+
+// StealTimeBound returns Theorem 5.1's bound on total time spent by all
+// processors on steals, successful and not: O(p·s·h(t)·(1+a)).
+func StealTimeBound(p int, h float64, a float64, c Costs) float64 {
+	return float64(p) * c.Cs * h * (1 + a)
+}
+
+// YBound evaluates Lemma 4.4's Y(|τ|, B): the worst-case number of transfers
+// of one execution-stack block during a size-r task of a limited-access,
+// top-dominant Type-2 algorithm with Sl(n) = Θ(n), cCol collections of
+// recursive calls, and recursive size map shrink.
+//
+//	Y(r, B) = c·B                     if shrink(r) >= B
+//	        = Σ_{i>=0} c^i·s^(i)(r)   otherwise
+func YBound(r, B, cCol int, shrink func(int) int) float64 {
+	if cCol < 1 {
+		cCol = 1
+	}
+	if r <= 0 {
+		return 0
+	}
+	if shrink(r) >= B {
+		return float64(cCol * B)
+	}
+	total := 0.0
+	size := r
+	mult := 1.0
+	for size > 0 {
+		total += mult * float64(size)
+		next := shrink(size)
+		if next >= size { // guard against non-contracting maps
+			break
+		}
+		size = next
+		mult *= float64(cCol)
+	}
+	return total
+}
+
+// YBoundLinear is YBound specialized to Sl(n) = Θ(n) with geometric
+// shrinkage s(n) <= (1-γ)n/c, where Lemma 4.4 gives the simple form
+// Y = O(min{c·B, r}).
+func YBoundLinear(r, B, cCol int) float64 {
+	return math.Min(float64(cCol*B), float64(r))
+}
+
+// TreeBlockDelay evaluates Lemma 4.3: a block of a limited-access Tree
+// Algorithm task's stack incurs delay O(min{B, ht(τ)}).
+func TreeBlockDelay(height, B int) float64 {
+	return math.Min(float64(B), float64(height))
+}
+
+// MMSequentialQ returns the sequential cache-miss shape of all three MM
+// algorithms: Q = n³/(B·√M) (Section 3).
+func MMSequentialQ(n int, c Costs) float64 {
+	return float64(n) * float64(n) * float64(n) / (float64(c.B) * math.Sqrt(float64(c.M)))
+}
+
+// MMExtraCacheMisses returns Lemma 3.1 / Corollaries 3.1-3.2's bound on the
+// *additional* cache misses caused by S steals: O(S^{1/3}·n²/B + S).
+func MMExtraCacheMisses(n int, s float64, c Costs) float64 {
+	return math.Cbrt(s)*float64(n)*float64(n)/float64(c.B) + s
+}
+
+// BlockDelayPerSteal returns Lemma 4.5's total block-miss delay shape for
+// the MM algorithms (and every algorithm whose stolen subtasks write O(1)
+// shared blocks): O(S·B), measured in cache-miss units.
+func BlockDelayPerSteal(s float64, c Costs) float64 {
+	return s * float64(c.B)
+}
+
+// RMToBICacheMisses returns Lemma 4.6: O(n²/B + n·√S).
+func RMToBICacheMisses(n int, s float64, c Costs) float64 {
+	return float64(n)*float64(n)/float64(c.B) + float64(n)*math.Sqrt(s)
+}
+
+// BIToRMCacheMisses returns Lemma 4.7's shape O((n²/B)·log S) for the
+// buffered depth-log²n conversion (log S ≥ 1 enforced).
+func BIToRMCacheMisses(n int, s float64, c Costs) float64 {
+	ls := math.Log2(math.Max(s, 2))
+	return float64(n) * float64(n) / float64(c.B) * ls
+}
+
+// HRootHBP returns Theorem 6.2/6.4's level of the root for HBP algorithms:
+// h(t) = O(T∞ + (b/s)(ℓ2(t) + ℓ4(t))), with ℓ1, ℓ3 = O(T∞) folded in.
+func HRootHBP(tinf, l2, l4 float64, c Costs) float64 {
+	return tinf + c.Cb/c.Cs*(l2+l4)
+}
+
+// Theorem63Case identifies the three (c, s(n)) shapes of Theorem 6.3.
+type Theorem63Case int
+
+const (
+	// CaseC1 is Theorem 6.3(i): one collection of recursive calls;
+	// h(t) = O((b+s)/s·T∞ + (b/s)·B·s*(n,B)), s* = iterations to reach B.
+	CaseC1 Theorem63Case = iota
+	// CaseC2Sqrt is Theorem 6.3(ii): c=2, s(n)=√n;
+	// h(t) = O((b+s)/s·T∞ + (b/s)·B·log n / log B).
+	CaseC2Sqrt
+	// CaseC2Quarter is Theorem 6.3(iii): c=2, s(n)=n/4;
+	// h(t) = O((b+s)/s·T∞ + (b/s)·√(n·B)).
+	CaseC2Quarter
+)
+
+// HRootTheorem63 evaluates the named case of Theorem 6.3 for input size n
+// (the recursive task size measure, e.g. n² for matrix algorithms on n x n
+// inputs) and critical path tinf.
+func HRootTheorem63(k Theorem63Case, n int, tinf float64, c Costs) float64 {
+	lead := (c.Cb + c.Cs) / c.Cs * tinf
+	switch k {
+	case CaseC1:
+		return lead + c.Cb/c.Cs*float64(c.B)*IterationsToB(n, c.B, func(x int) int { return x / 4 })
+	case CaseC2Sqrt:
+		logN := math.Log2(math.Max(float64(n), 2))
+		logB := math.Log2(math.Max(float64(c.B), 2))
+		return lead + c.Cb/c.Cs*float64(c.B)*logN/logB
+	case CaseC2Quarter:
+		return lead + c.Cb/c.Cs*math.Sqrt(float64(n)*float64(c.B))
+	}
+	panic("analysis: unknown Theorem 6.3 case")
+}
+
+// IterationsToB returns s*(n, B): the number of applications of shrink
+// needed to bring n to at most B.
+func IterationsToB(n, B int, shrink func(int) int) float64 {
+	count := 0
+	for n > B {
+		next := shrink(n)
+		if next >= n {
+			break
+		}
+		n = next
+		count++
+	}
+	return float64(count)
+}
+
+// RuntimeBound evaluates Theorem 6.4's runtime decomposition:
+//
+//	T = O( W/p + b·Q/p + b·C(S,n)/p + (S/p)(s + b·B) )
+func RuntimeBound(w, q, cOfS, s float64, p int, c Costs) float64 {
+	fp := float64(p)
+	return w/fp + c.Cb*q/fp + c.Cb*cOfS/fp + s/fp*(c.Cs+c.Cb*float64(c.B))
+}
+
+// SpeedupOptimalCondition reports Corollary 6.2's test: with s = Θ(b), the
+// execution achieves Θ(p) speedup when C(S,n) + S·B = O(Q). The returned
+// ratio (C(S,n)+S·B)/Q should be O(1) for optimality.
+func SpeedupOptimalCondition(cOfS, s, q float64, c Costs) float64 {
+	if q == 0 {
+		return math.Inf(1)
+	}
+	return (cOfS + s*float64(c.B)) / q
+}
+
+// BPSteals returns Theorem 7.1(i)'s steal shape for BP algorithms on size-n
+// inputs: S = O(p·((b+s)/s·log n + (b/s)·B)·(1+a)).
+func BPSteals(p, n int, a float64, c Costs) float64 {
+	logN := math.Log2(math.Max(float64(n), 2))
+	return float64(p) * ((c.Cb+c.Cs)/c.Cs*logN + c.Cb/c.Cs*float64(c.B)) * (1 + a)
+}
+
+// SortSteals returns Theorem 7.1(iii)'s steal shape:
+// S = O(p·((b+s)/s·log n·loglog n + (b/s)·B·log n/log B)·(1+a)).
+func SortSteals(p, n int, a float64, c Costs) float64 {
+	logN := math.Log2(math.Max(float64(n), 2))
+	loglogN := math.Log2(math.Max(logN, 2))
+	logB := math.Log2(math.Max(float64(c.B), 2))
+	return float64(p) * ((c.Cb+c.Cs)/c.Cs*logN*loglogN + c.Cb/c.Cs*float64(c.B)*logN/logB) * (1 + a)
+}
+
+// MMStealsDepthN returns Lemma 7.1's steal shape for the depth-n
+// (limited-access) MM: S = O(((b+s)/s·p·n + (b/s)·p·n·√B)·(1+a)).
+func MMStealsDepthN(p, n int, a float64, c Costs) float64 {
+	fn := float64(n)
+	return (((c.Cb+c.Cs)/c.Cs)*float64(p)*fn + c.Cb/c.Cs*float64(p)*fn*math.Sqrt(float64(c.B))) * (1 + a)
+}
+
+// MMStealsDepthLog returns Lemma 7.1's steal shape for the depth-log²n MM:
+// S = O(((b+s)/s·p·log²n + (b/s)·p·B·log n)·(1+a)).
+func MMStealsDepthLog(p, n int, a float64, c Costs) float64 {
+	logN := math.Log2(math.Max(float64(n), 2))
+	return (((c.Cb+c.Cs)/c.Cs)*float64(p)*logN*logN + c.Cb/c.Cs*float64(p)*float64(c.B)*logN) * (1 + a)
+}

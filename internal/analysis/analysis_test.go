@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var costs = Costs{B: 16, M: 4096, Cb: 10, Cs: 20}
+
+func TestYBoundRegimes(t *testing.T) {
+	half := func(x int) int { return x / 2 }
+	// Large task: first recursive call still >= B, so Y = c·B.
+	if got := YBound(1024, 16, 2, half); got != 32 {
+		t.Errorf("YBound large = %v, want 32", got)
+	}
+	// Small task: geometric sum Σ c^i s^(i)(r).
+	got := YBound(8, 16, 1, half)
+	want := 8.0 + 4 + 2 + 1
+	if got != want {
+		t.Errorf("YBound small = %v, want %v", got, want)
+	}
+}
+
+func TestYBoundLinearMin(t *testing.T) {
+	if YBoundLinear(1000, 16, 2) != 32 {
+		t.Error("YBoundLinear big")
+	}
+	if YBoundLinear(5, 16, 2) != 5 {
+		t.Error("YBoundLinear small")
+	}
+}
+
+func TestYBoundNonContractingGuard(t *testing.T) {
+	id := func(x int) int { return x }
+	// Must not loop forever.
+	if got := YBound(4, 16, 2, id); got != 4 {
+		t.Errorf("YBound with identity shrink = %v", got)
+	}
+}
+
+func TestTreeBlockDelay(t *testing.T) {
+	if TreeBlockDelay(5, 16) != 5 || TreeBlockDelay(100, 16) != 16 {
+		t.Error("TreeBlockDelay min broken")
+	}
+}
+
+func TestHRootGeneralMonotone(t *testing.T) {
+	f := func(tinf8, e8 uint8) bool {
+		tinf := float64(tinf8) + 1
+		e := float64(e8)
+		h := HRootGeneral(tinf, e, costs)
+		// h grows with both T∞ and E, and is at least T∞.
+		return h >= tinf && HRootGeneral(tinf+1, e, costs) > h &&
+			HRootGeneral(tinf, e+1, costs) > h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStealBoundScalesLinearlyInP(t *testing.T) {
+	h := 100.0
+	s4 := StealBoundGeneral(4, h, 1)
+	s8 := StealBoundGeneral(8, h, 1)
+	if s8 != 2*s4 {
+		t.Errorf("steal bound not linear in p: %v vs %v", s4, s8)
+	}
+}
+
+func TestMMBoundsShapes(t *testing.T) {
+	// Q(n) ~ n³: doubling n scales Q by 8.
+	q1 := MMSequentialQ(64, costs)
+	q2 := MMSequentialQ(128, costs)
+	if math.Abs(q2/q1-8) > 1e-9 {
+		t.Errorf("Q ratio %v, want 8", q2/q1)
+	}
+	// Extra misses scale as S^{1/3} for fixed n until the +S term dominates.
+	e1 := MMExtraCacheMisses(256, 8, costs)
+	e2 := MMExtraCacheMisses(256, 64, costs)
+	ratio := e2 / e1
+	if ratio < 1.9 || ratio > 2.3 { // 64^{1/3}/8^{1/3} = 2 plus the +S drift
+		t.Errorf("S^{1/3} scaling off: ratio %v", ratio)
+	}
+}
+
+func TestConversionBounds(t *testing.T) {
+	if RMToBICacheMisses(64, 0, costs) != 64*64/16 {
+		t.Error("RMToBI at S=0 should be n²/B")
+	}
+	// BIToRM grows logarithmically in S.
+	a := BIToRMCacheMisses(64, 4, costs)
+	b := BIToRMCacheMisses(64, 16, costs)
+	if b <= a {
+		t.Error("BIToRM bound must grow with S")
+	}
+	if b/a > 2.1 {
+		t.Errorf("BIToRM growth should be logarithmic, got ratio %v", b/a)
+	}
+}
+
+func TestTheorem63CaseOrdering(t *testing.T) {
+	// For matrix-sized tasks (n² input) the three cases should order:
+	// depth-log²n's c=1 polylog bound below the c=2, s(n)=n/4 polynomial one.
+	n2 := 128 * 128
+	h1 := HRootTheorem63(CaseC1, n2, 49, costs)         // log²(128) = 49
+	h3 := HRootTheorem63(CaseC2Quarter, n2, 128, costs) // T∞ = n
+	if h1 >= h3 {
+		t.Errorf("case(i) h=%v should be far below case(iii) h=%v", h1, h3)
+	}
+}
+
+func TestIterationsToB(t *testing.T) {
+	got := IterationsToB(1024, 16, func(x int) int { return x / 4 })
+	if got != 3 { // 1024 -> 256 -> 64 -> 16
+		t.Errorf("IterationsToB = %v, want 3", got)
+	}
+	if IterationsToB(8, 16, func(x int) int { return x / 4 }) != 0 {
+		t.Error("IterationsToB below B should be 0")
+	}
+}
+
+func TestRuntimeBoundDecreasesWithP(t *testing.T) {
+	f := func(wSel uint8) bool {
+		w := float64(wSel)*1000 + 1000
+		t4 := RuntimeBound(w, w/10, w/100, 50, 4, costs)
+		t8 := RuntimeBound(w, w/10, w/100, 50, 8, costs)
+		return t8 < t4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupCondition(t *testing.T) {
+	// When extra costs are tiny relative to Q, the ratio is < 1 (optimal).
+	if r := SpeedupOptimalCondition(10, 1, 1e6, costs); r >= 1 {
+		t.Errorf("expected optimal ratio < 1, got %v", r)
+	}
+	if r := SpeedupOptimalCondition(0, 0, 0, costs); !math.IsInf(r, 1) {
+		t.Errorf("zero-Q should be +Inf, got %v", r)
+	}
+}
+
+func TestAlgorithmStealShapesGrowth(t *testing.T) {
+	// BP steals grow logarithmically in n; MM depth-n steals linearly.
+	bp1 := BPSteals(8, 1<<10, 1, costs)
+	bp2 := BPSteals(8, 1<<20, 1, costs)
+	if bp2/bp1 > 3 {
+		t.Errorf("BP steal growth too fast: %v", bp2/bp1)
+	}
+	mm1 := MMStealsDepthN(8, 64, 1, costs)
+	mm2 := MMStealsDepthN(8, 128, 1, costs)
+	if r := mm2 / mm1; math.Abs(r-2) > 0.01 {
+		t.Errorf("depth-n MM steals not linear in n: ratio %v", r)
+	}
+	// And the depth-log² algorithm's bound is asymptotically far below.
+	if MMStealsDepthLog(8, 1024, 1, costs) >= MMStealsDepthN(8, 1024, 1, costs) {
+		t.Error("depth-log² steal bound should be below depth-n at n=1024")
+	}
+	// Sort steals sit between BP and MM shapes.
+	if SortSteals(8, 1<<15, 1, costs) <= BPSteals(8, 1<<15, 1, costs) {
+		t.Error("sort bound should exceed plain BP bound (extra loglog and logB terms)")
+	}
+}
+
+func TestBPLevelsGeometry(t *testing.T) {
+	l := NewBPLevels(1024, 16, 2)
+	if l.Height != 10 {
+		t.Fatalf("height = %d", l.Height)
+	}
+	// Conflict subtrees must have O(B) nodes: subtree at ConflictDepth+1
+	// has >= B-1 nodes and at ConflictDepth+2 fewer.
+	nodesAt := func(depth int) int { return (1 << (l.Height - depth + 1)) - 1 }
+	if l.ConflictDepth+1 <= l.Height && nodesAt(l.ConflictDepth+1) < l.B-1 {
+		t.Errorf("conflict subtree too small at depth %d", l.ConflictDepth+1)
+	}
+}
+
+func TestBPLevelsMonotonicity(t *testing.T) {
+	// Static invariants along dag edges: ℓ1 drops by >= 2 per edge; ℓ3 is
+	// non-increasing down-pass, non-increasing up-pass (parent below child).
+	l := NewBPLevels(256, 16, 2)
+	for depth := 0; depth < l.Height; depth++ {
+		if l.L1Down(depth) < l.L1Down(depth+1)+2 {
+			t.Errorf("ℓ1 down-pass violates slope at depth %d", depth)
+		}
+		if l.L1Up(depth+1) < l.L1Up(depth)+2 {
+			t.Errorf("ℓ1 up-pass violates slope at depth %d", depth)
+		}
+		if l.L3InitialDown(depth) < l.L3InitialDown(depth+1) {
+			t.Errorf("ℓ3 down-pass increases at depth %d", depth)
+		}
+		if l.L3InitialUp(depth+1) < l.L3InitialUp(depth) {
+			t.Errorf("ℓ3 up-pass: child %d below parent", depth+1)
+		}
+	}
+	// Leaf handoff: the deepest down-pass value must dominate the leaf value.
+	if l.L3InitialDown(l.Height-1) < l.L3InitialUp(l.Height) {
+		t.Error("ℓ3 down-pass leaf parent below leaf")
+	}
+	if l.L4Initial() != 32 {
+		t.Errorf("ℓ4 = %v, want e·B = 32", l.L4Initial())
+	}
+}
+
+func TestBPLevelsHRootMatchesSimpleForm(t *testing.T) {
+	// The assembled h(t) and the closed form O((b+s)/s·log n + (b/s)·B)
+	// agree within a constant factor across a wide range of n and B.
+	for _, leaves := range []int{64, 1024, 1 << 15} {
+		for _, B := range []int{8, 16, 64, 256} {
+			c := Costs{B: B, M: 64 * B, Cb: 10, Cs: 20}
+			l := NewBPLevels(leaves, B, 2)
+			full := l.HRoot(c)
+			simple := l.HRootSimple(c)
+			ratio := full / simple
+			if ratio < 1 || ratio > 40 {
+				t.Errorf("leaves=%d B=%d: h(t) ratio %v outside constant band", leaves, B, ratio)
+			}
+		}
+	}
+}

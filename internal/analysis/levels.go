@@ -1,0 +1,109 @@
+package analysis
+
+import "math"
+
+// BPLevels materializes Section 6.1's four level functions ℓ1..ℓ4 at their
+// *initial* values for a complete binary BP computation over nLeaves leaves
+// (down-pass tree + up-pass tree). The dynamic analysis decrements these as
+// accesses complete; the initial values determine h(t) and hence the steal
+// bound of Theorem 6.1. The struct exposes enough geometry for tests to
+// verify the static invariants the proofs rely on:
+//
+//   - ℓ_i(u) ≥ ℓ_i(v) ≥ 0 on every dag edge (u, v)   (Lemmas 6.3-6.6, 6.9)
+//   - ℓ1(u) ≥ ℓ1(v) + 2
+//   - h(t) = O((b+s)/s·log n + (b/s)·B)               (Theorem 6.1 remark)
+type BPLevels struct {
+	Leaves int
+	Height int // tree height in edges (leaves at depth Height)
+	B      int
+	E      int // e = max accesses per node (limited-access constant)
+	// ConflictDepth is the depth of the conflict-subtree roots: the greatest
+	// depth d such that subtrees rooted at depth d+1 all have >= B-1 nodes
+	// (Section 6.1, ℓ2 definition).
+	ConflictDepth int
+}
+
+// NewBPLevels sets up the level geometry for an nLeaves-leaf BP tree with
+// block size B and access constant e.
+func NewBPLevels(nLeaves, B, e int) BPLevels {
+	if nLeaves < 1 || B < 1 || e < 1 {
+		panic("analysis: bad BPLevels parameters")
+	}
+	h := 0
+	for (1 << h) < nLeaves {
+		h++
+	}
+	// A subtree rooted at depth k has 2^(h-k+1) - 1 nodes. Find the greatest
+	// d with 2^(h-(d+1)+1) - 1 >= B-1.
+	d := 0
+	for d+1 <= h && (1<<(h-d))-1 >= B-1 {
+		d++
+	}
+	if d > 0 {
+		d-- // d+1 was the last depth satisfying the bound; roots sit at d
+	}
+	return BPLevels{Leaves: nLeaves, Height: h, B: B, E: e, ConflictDepth: d}
+}
+
+// L1Down and L1Up give ℓ1(u) = 2·ht(u) where ht is the height of u in the
+// whole dag D (down-pass depth k node has dag height 2h - ... measured in
+// edges to the terminal node).
+func (l BPLevels) L1Down(depth int) float64 {
+	// A down-pass node at depth k has the up-pass below it: longest path to
+	// the terminal = (h - k) down + h up edges... = 2h - 2k + ... exactly:
+	// descend to a leaf (h-k edges) then ascend to the terminal (h edges),
+	// but only the portion up to the matching join: the series-parallel dag
+	// pairs fork/join, so the terminal is the matching join at depth k,
+	// reached after (h-k) + (h-k) edges... plus the path above k to the
+	// root's join adds more for ht within D. For the *whole* dag rooted at
+	// the computation root, ht(u) for a down node at depth k is 2(h-k)+1.
+	return 2 * float64(2*(l.Height-depth)+1)
+}
+
+// L1Up gives ℓ1 for an up-pass node at depth k (its ht is k).
+func (l BPLevels) L1Up(depth int) float64 {
+	return 2 * float64(depth)
+}
+
+// L2Initial gives the initial ℓ2 budget (Lemma 6.2/6.3): nodes carry at most
+// 4·(c2/c1)·e²·B; with the balanced complete tree c2/c1 = 1.
+func (l BPLevels) L2Initial() float64 {
+	return 4 * float64(l.E) * float64(l.E) * float64(l.B)
+}
+
+// L3InitialUp gives ℓ3's initial value for an up-pass node at depth k:
+// 2e · (path length in vertices from the node to the up-pass root).
+func (l BPLevels) L3InitialUp(depth int) float64 {
+	return 2 * float64(l.E) * float64(depth+1)
+}
+
+// L3InitialDown gives ℓ3's initial value for a non-leaf down-pass node at
+// depth k: ℓ3(f) + e·height + e·(height of node - 1), where ℓ3(f) is the
+// maximum leaf value.
+func (l BPLevels) L3InitialDown(depth int) float64 {
+	lf := l.L3InitialUp(l.Height) // leaves are shared between the passes
+	nodeHeight := l.Height - depth
+	return lf + float64(l.E)*float64(l.Height) + float64(l.E)*float64(nodeHeight-1)
+}
+
+// L4Initial gives ℓ4 = e·B (Lemma 6.9).
+func (l BPLevels) L4Initial() float64 {
+	return float64(l.E) * float64(l.B)
+}
+
+// HRoot assembles h(t) = ℓ1(t) + (b/s)(ℓ2 + ℓ3 + ℓ4) at the root
+// (Section 6.1), the quantity Theorem 6.1 multiplies by p(1+a).
+func (l BPLevels) HRoot(c Costs) float64 {
+	l1 := l.L1Down(0)
+	l2 := l.L2Initial()
+	l3 := l.L3InitialDown(0)
+	l4 := l.L4Initial()
+	return l1 + c.Cb/c.Cs*(l2+l3+l4)
+}
+
+// HRootSimple is the closed form the paper states after Theorem 6.1:
+// h(t) = O((b+s)/s·log n + (b/s)·B). HRoot should match it within constants.
+func (l BPLevels) HRootSimple(c Costs) float64 {
+	logN := math.Log2(math.Max(float64(l.Leaves), 2))
+	return (c.Cb+c.Cs)/c.Cs*logN + c.Cb/c.Cs*float64(l.B)
+}

@@ -1,0 +1,104 @@
+// Package cache implements the per-processor private cache of the machine
+// model: a fully-associative set of M/B blocks with LRU replacement.
+//
+// The cache stores only block identities (the simulated values live in
+// mem.Memory); the machine layer on top of it decides coherence actions and
+// classifies misses. Fully-associative LRU matches the ideal-cache model the
+// paper's sequential cache-complexity bounds (Q) assume.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"rwsfs/internal/mem"
+)
+
+// Cache is a fully-associative LRU cache over block identities.
+type Cache struct {
+	capacity int
+	ll       *list.List // front = most recently used; values are mem.BlockID
+	index    map[mem.BlockID]*list.Element
+}
+
+// New returns a cache holding at most capacity blocks.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity %d", capacity))
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[mem.BlockID]*list.Element, capacity),
+	}
+}
+
+// Capacity reports the maximum number of resident blocks (M/B).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len reports the current number of resident blocks.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Contains reports whether block b is resident.
+func (c *Cache) Contains(b mem.BlockID) bool {
+	_, ok := c.index[b]
+	return ok
+}
+
+// Touch marks block b most-recently-used. It reports whether b was resident.
+func (c *Cache) Touch(b mem.BlockID) bool {
+	e, ok := c.index[b]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(e)
+	return true
+}
+
+// Insert makes block b resident and most-recently-used. If the cache was
+// full, the least-recently-used block is evicted and returned with
+// evicted=true. Inserting an already-resident block just touches it.
+func (c *Cache) Insert(b mem.BlockID) (victim mem.BlockID, evicted bool) {
+	if e, ok := c.index[b]; ok {
+		c.ll.MoveToFront(e)
+		return 0, false
+	}
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		victim = back.Value.(mem.BlockID)
+		c.ll.Remove(back)
+		delete(c.index, victim)
+		evicted = true
+	}
+	c.index[b] = c.ll.PushFront(b)
+	return victim, evicted
+}
+
+// Remove drops block b (an invalidation). It reports whether b was resident.
+func (c *Cache) Remove(b mem.BlockID) bool {
+	e, ok := c.index[b]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(e)
+	delete(c.index, b)
+	return true
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.ll.Init()
+	for k := range c.index {
+		delete(c.index, k)
+	}
+}
+
+// Resident returns the resident blocks in MRU-to-LRU order. Intended for
+// tests and debugging.
+func (c *Cache) Resident() []mem.BlockID {
+	out := make([]mem.BlockID, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(mem.BlockID))
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package exec models the execution stacks of Section 4 of the paper.
+//
+// Every task τ that is the original task or a stolen task owns an execution
+// stack S_τ: a block-aligned region of simulated memory (Property 4.3) from
+// which the segments σ_v of the fork/leaf nodes executed within τ's kernel
+// are allocated. Segments are small (O(1) words for tree nodes, Θ(r) words
+// for a size-r recursive task's locals), so successive segments share blocks,
+// and freed space is re-used by later segments — precisely the behaviour that
+// creates the bounded false sharing analyzed in Lemmas 4.3 and 4.4.
+//
+// Because parallel branches of a kernel can hold live segments at the same
+// time (the path P_τ plus non-kernel children writing back results), segment
+// lifetimes are not strictly LIFO. Stack therefore uses a lowest-address
+// first-fit free list: live segments are disjoint, and freed space is re-used
+// as eagerly as possible, maximizing the block re-use the paper analyzes.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rwsfs/internal/mem"
+)
+
+// Seg is an allocated segment on an execution stack.
+type Seg struct {
+	Base  mem.Addr
+	Words int
+}
+
+// span is a free range [base, base+words).
+type span struct {
+	base  mem.Addr
+	words int
+}
+
+// Stack is one execution stack S_τ: a fixed region with first-fit
+// word-granular segment allocation inside it.
+type Stack struct {
+	base   mem.Addr
+	words  int
+	free   []span // sorted by base; adjacent spans coalesced
+	inUse  int
+	peak   int
+	nAlloc int64
+}
+
+// NewStack creates a stack over the region [base, base+words). The region
+// must be block-aligned; the caller obtains it from mem.Allocator, which
+// guarantees that (Property 4.3).
+func NewStack(base mem.Addr, words int) *Stack {
+	if words <= 0 {
+		panic(fmt.Sprintf("exec: stack of %d words", words))
+	}
+	return &Stack{
+		base:  base,
+		words: words,
+		free:  []span{{base, words}},
+	}
+}
+
+// Base returns the region's first address.
+func (s *Stack) Base() mem.Addr { return s.base }
+
+// Words returns the region size.
+func (s *Stack) Words() int { return s.words }
+
+// InUse returns the words currently allocated.
+func (s *Stack) InUse() int { return s.inUse }
+
+// Peak returns the high-water mark of allocated words; tests compare it with
+// the algorithm's declared path-space bound Sp(n) (Definition 4.6).
+func (s *Stack) Peak() int { return s.peak }
+
+// Allocations returns the total number of Alloc calls served.
+func (s *Stack) Allocations() int64 { return s.nAlloc }
+
+// Alloc returns the base of a words-long segment, choosing the lowest-address
+// free span that fits (first fit). It panics if the stack overflows, which in
+// this simulator indicates a task whose stack-size hint was too small.
+func (s *Stack) Alloc(words int) Seg {
+	if words <= 0 {
+		panic(fmt.Sprintf("exec: Alloc(%d)", words))
+	}
+	for i := range s.free {
+		if s.free[i].words >= words {
+			seg := Seg{s.free[i].base, words}
+			s.free[i].base += mem.Addr(words)
+			s.free[i].words -= words
+			if s.free[i].words == 0 {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			}
+			s.inUse += words
+			if s.inUse > s.peak {
+				s.peak = s.inUse
+			}
+			s.nAlloc++
+			return seg
+		}
+	}
+	panic(fmt.Sprintf("exec: stack overflow: need %d words, %d free of %d (raise the fork stack hint)",
+		words, s.words-s.inUse, s.words))
+}
+
+// Free returns a segment to the stack, coalescing with neighbours.
+func (s *Stack) Free(seg Seg) {
+	if seg.Words <= 0 {
+		panic("exec: Free of empty segment")
+	}
+	if seg.Base < s.base || seg.Base+mem.Addr(seg.Words) > s.base+mem.Addr(s.words) {
+		panic(fmt.Sprintf("exec: Free of segment [%d,%d) outside stack [%d,%d)",
+			seg.Base, seg.Base+mem.Addr(seg.Words), s.base, s.base+mem.Addr(s.words)))
+	}
+	i := sort.Search(len(s.free), func(i int) bool { return s.free[i].base > seg.Base })
+	// Overlap checks against neighbours guard double-frees.
+	if i > 0 {
+		prev := s.free[i-1]
+		if prev.base+mem.Addr(prev.words) > seg.Base {
+			panic("exec: Free overlaps a free span (double free?)")
+		}
+	}
+	if i < len(s.free) {
+		next := s.free[i]
+		if seg.Base+mem.Addr(seg.Words) > next.base {
+			panic("exec: Free overlaps a free span (double free?)")
+		}
+	}
+	s.free = append(s.free, span{})
+	copy(s.free[i+1:], s.free[i:])
+	s.free[i] = span{seg.Base, seg.Words}
+	// Coalesce with next, then with previous.
+	if i+1 < len(s.free) && s.free[i].base+mem.Addr(s.free[i].words) == s.free[i+1].base {
+		s.free[i].words += s.free[i+1].words
+		s.free = append(s.free[:i+1], s.free[i+2:]...)
+	}
+	if i > 0 && s.free[i-1].base+mem.Addr(s.free[i-1].words) == s.free[i].base {
+		s.free[i-1].words += s.free[i].words
+		s.free = append(s.free[:i], s.free[i+1:]...)
+	}
+	s.inUse -= seg.Words
+}
+
+// Reset frees everything, returning the stack to a single free span.
+func (s *Stack) Reset() {
+	s.free = s.free[:0]
+	s.free = append(s.free, span{s.base, s.words})
+	s.inUse = 0
+}
+
+// FreeSpans returns a copy of the free list; for tests.
+func (s *Stack) FreeSpans() []Seg {
+	out := make([]Seg, len(s.free))
+	for i, f := range s.free {
+		out[i] = Seg{f.base, f.words}
+	}
+	return out
+}
+
+// Pool recycles stack regions by size class so a run with thousands of
+// steals does not reserve unbounded address space. Recycling a region hands
+// its blocks to a new task, which is what a real runtime's stack pool does;
+// Property 4.3 (block-disjointness of live allocations) is preserved because
+// a region is only recycled after its task completed.
+type Pool struct {
+	alloc       *mem.Allocator
+	freeByClass map[int][]*Stack
+	created     int
+	reused      int
+}
+
+// NewPool returns a pool drawing fresh regions from alloc.
+func NewPool(alloc *mem.Allocator) *Pool {
+	return &Pool{alloc: alloc, freeByClass: make(map[int][]*Stack)}
+}
+
+// sizeClass rounds words up to a power of two at least 256.
+func sizeClass(words int) int {
+	c := 256
+	for c < words {
+		c <<= 1
+	}
+	return c
+}
+
+// Get returns a reset stack with at least words capacity.
+func (p *Pool) Get(words int) *Stack {
+	c := sizeClass(words)
+	if l := p.freeByClass[c]; len(l) > 0 {
+		s := l[len(l)-1]
+		p.freeByClass[c] = l[:len(l)-1]
+		s.Reset()
+		p.reused++
+		return s
+	}
+	base := p.alloc.Alloc(c)
+	p.created++
+	return NewStack(base, c)
+}
+
+// Put returns a stack to the pool. The caller must not use it afterwards.
+func (p *Pool) Put(s *Stack) {
+	c := sizeClass(s.words)
+	p.freeByClass[c] = append(p.freeByClass[c], s)
+}
+
+// Stats reports how many regions were created fresh vs recycled.
+func (p *Pool) Stats() (created, reused int) { return p.created, p.reused }

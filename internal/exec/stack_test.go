@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/mem"
+)
+
+func TestAllocFirstFitLowestAddress(t *testing.T) {
+	s := NewStack(0, 100)
+	a := s.Alloc(10)
+	b := s.Alloc(10)
+	if a.Base != 0 || b.Base != 10 {
+		t.Fatalf("sequential allocs at %d, %d", a.Base, b.Base)
+	}
+	s.Free(a)
+	c := s.Alloc(5)
+	if c.Base != 0 {
+		t.Errorf("first fit should reuse the lowest hole, got %d", c.Base)
+	}
+	d := s.Alloc(5)
+	if d.Base != 5 {
+		t.Errorf("remaining hole should be used next, got %d", d.Base)
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	s := NewStack(0, 64)
+	a := s.Alloc(16)
+	b := s.Alloc(16)
+	c := s.Alloc(16)
+	s.Free(a)
+	s.Free(c)
+	if len(s.FreeSpans()) != 3 { // [0,16) [32,48) [48,64)... c coalesces with tail
+		// After freeing c it coalesces with the tail span: expect 2 spans.
+	}
+	s.Free(b) // b bridges a's hole and c's hole: one span remains
+	spans := s.FreeSpans()
+	if len(spans) != 1 || spans[0].Base != 0 || spans[0].Words != 64 {
+		t.Fatalf("coalescing failed: %+v", spans)
+	}
+	if s.InUse() != 0 {
+		t.Errorf("InUse = %d after freeing everything", s.InUse())
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	s := NewStack(0, 100)
+	a := s.Alloc(40)
+	b := s.Alloc(30)
+	s.Free(b)
+	s.Free(a)
+	if s.Peak() != 70 {
+		t.Errorf("peak %d, want 70", s.Peak())
+	}
+	if s.Allocations() != 2 {
+		t.Errorf("allocations %d, want 2", s.Allocations())
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	s := NewStack(0, 10)
+	s.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	s.Alloc(4)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := NewStack(0, 32)
+	a := s.Alloc(8)
+	s.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	s.Free(a)
+}
+
+func TestFreeOutsideRegionPanics(t *testing.T) {
+	s := NewStack(64, 32)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign free did not panic")
+		}
+	}()
+	s.Free(Seg{Base: 0, Words: 8})
+}
+
+func TestLiveSegmentsDisjointProperty(t *testing.T) {
+	// Random alloc/free sequences: live segments never overlap, and
+	// InUse always equals the sum of live segment sizes.
+	f := func(ops []uint8) bool {
+		s := NewStack(0, 4096)
+		var live []Seg
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free a pseudo-random segment
+				i := int(op) % len(live)
+				s.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			n := int(op)%64 + 1
+			if s.InUse()+n > 4096 {
+				continue
+			}
+			live = append(live, s.Alloc(n))
+		}
+		sum := 0
+		for i := range live {
+			sum += live[i].Words
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.Base < b.Base+mem.Addr(b.Words) && b.Base < a.Base+mem.Addr(a.Words) {
+					return false
+				}
+			}
+		}
+		return sum == s.InUse()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetRestoresFullSpan(t *testing.T) {
+	s := NewStack(128, 64)
+	s.Alloc(10)
+	s.Alloc(20)
+	s.Reset()
+	spans := s.FreeSpans()
+	if len(spans) != 1 || spans[0].Base != 128 || spans[0].Words != 64 {
+		t.Fatalf("Reset left %+v", spans)
+	}
+}
+
+func TestPoolRecyclesBySizeClass(t *testing.T) {
+	m := mem.New(16)
+	al := mem.NewAllocator(m)
+	p := NewPool(al)
+	a := p.Get(300) // class 512
+	if a.Words() != 512 {
+		t.Errorf("size class = %d, want 512", a.Words())
+	}
+	p.Put(a)
+	b := p.Get(400) // same class: recycled
+	if b != a {
+		t.Error("pool did not recycle same-class stack")
+	}
+	created, reused := p.Stats()
+	if created != 1 || reused != 1 {
+		t.Errorf("stats (%d,%d), want (1,1)", created, reused)
+	}
+	// A different class allocates fresh, block-aligned.
+	c := p.Get(2000)
+	if c.Base()%16 != 0 {
+		t.Error("pool stack not block aligned")
+	}
+}
+
+func TestPoolMinimumClass(t *testing.T) {
+	m := mem.New(16)
+	p := NewPool(mem.NewAllocator(m))
+	s := p.Get(1)
+	if s.Words() != 256 {
+		t.Errorf("minimum class = %d, want 256", s.Words())
+	}
+}

@@ -1,0 +1,190 @@
+// Package harness runs the reproduction experiments: for each lemma/theorem
+// in the paper's analysis it sweeps the relevant parameter, runs the
+// algorithms on the simulated machine, evaluates the corresponding bound
+// from package analysis, and renders a predicted-vs-measured table. The
+// experiment index lives in DESIGN.md; EXPERIMENTS.md records the output.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"rwsfs/internal/analysis"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/rws"
+)
+
+// Scale selects experiment sizes: Quick for tests/benchmarks, Full for the
+// EXPERIMENTS.md run.
+type Scale int
+
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Check is one pass/fail shape assertion attached to a table.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Table is one experiment's rendered result.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+	Checks []Check
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Checked appends a shape check.
+func (t *Table) Checked(name string, pass bool, detail string) {
+	t.Checks = append(t.Checks, Check{Name: name, Pass: pass, Detail: detail})
+}
+
+// Format renders the table with aligned columns, ready for a terminal.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, c := range t.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s: %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown section.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	for _, c := range t.Checks {
+		mark := "✅"
+		if !c.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "- %s **%s**: %s\n", mark, c.Name, c.Detail)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale) Table
+}
+
+// All returns the experiment registry in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E01", "Lemma 3.1 — depth-n MM cache misses vs steals", E01},
+		{"E02", "Corollary 3.2 — depth-log²n MM cache misses vs steals", E02},
+		{"E03", "Lemma 4.3 — per-block delay of tree tasks is O(min{B, ht})", E03},
+		{"E04", "Lemma 4.5 — MM block-miss delay is O(S·B)", E04},
+		{"E05", "Lemma 4.6 — RM→BI conversion costs", E05},
+		{"E06", "Lemma 4.7 — BI→RM conversion, buffered vs natural", E06},
+		{"E07", "Theorem 5.1 — steals scale as O(p·h(t))", E07},
+		{"E08", "Theorems 6.2/6.3 — HBP h(t) cases order steal counts", E08},
+		{"E09", "Lemma 7.1 — depth-n vs depth-log²n MM steals", E09},
+		{"E10", "Theorem 7.1(i,ii) — BP algorithms: prefix sums & transpose", E10},
+		{"E11", "Theorem 7.1(iii,iv) — sorting and FFT", E11},
+		{"E12", "Section 7 — list ranking & connected components", E12},
+		{"E13", "Section 6.1 — level machinery vs measurements (BP)", E13},
+		{"E14", "Section 2.1 — native false sharing on the host", E14},
+		{"E15", "Corollary 6.2 — speedup optimality", E15},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// costs converts machine params to analysis costs.
+func costs(p machine.Params) analysis.Costs {
+	return analysis.Costs{B: p.B, M: p.M, Cb: float64(p.CostMiss), Cs: float64(p.CostSteal)}
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }
+
+// seqBaseline runs the same computation at p=1 (no steals possible) to
+// obtain the sequential W and Q the theorems compare against.
+func seqBaseline(mk func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)), base rws.Config) rws.Result {
+	cfg := base
+	cfg.Machine.P = 1
+	e, root := mk(cfg)
+	return e.Run(root)
+}
+
+// runAt executes the computation at the given processor count and budget.
+func runAt(mk func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)), base rws.Config, p int, budget int64, seed int64) rws.Result {
+	cfg := base
+	cfg.Machine.P = p
+	cfg.StealBudget = budget
+	cfg.Seed = seed
+	e, root := mk(cfg)
+	return e.Run(root)
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, ex := range All() {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tbl := ex.Run(Quick)
+			if tbl.ID != ex.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, ex.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", ex.ID)
+			}
+			for _, c := range tbl.Checks {
+				if !c.Pass {
+					t.Errorf("%s check failed: %s (%s)", ex.ID, c.Name, c.Detail)
+				}
+			}
+			t.Logf("\n%s", tbl.Format())
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E01"); !ok {
+		t.Error("E01 missing")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID: "T", Title: "title", Note: "note",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.Checked("c", true, "fine")
+	txt := tbl.Format()
+	for _, want := range []string{"== T: title ==", "note", "a", "bee", "[PASS] c: fine"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q in:\n%s", want, txt)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### T — title", "| a | bee |", "✅ **c**"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestFitLogLog(t *testing.T) {
+	// y = x² should fit slope 2.
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{4, 16, 64, 256}
+	if s := fitLogLog(xs, ys); s < 1.99 || s > 2.01 {
+		t.Errorf("slope %v, want 2", s)
+	}
+}

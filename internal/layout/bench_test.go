@@ -1,0 +1,20 @@
+package layout
+
+import "testing"
+
+func BenchmarkMortonIndex(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += MortonIndex(i&1023, (i>>10)&1023)
+	}
+	_ = s
+}
+
+func BenchmarkMortonCoords(b *testing.B) {
+	s := 0
+	for i := 0; i < b.N; i++ {
+		r, c := MortonCoords(i & 0xfffff)
+		s += r + c
+	}
+	_ = s
+}

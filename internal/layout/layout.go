@@ -1,0 +1,121 @@
+// Package layout provides the two matrix storage formats of Section 3 of the
+// paper — Row Major (RM) and Bit Interleaved (BI) — and the index arithmetic
+// connecting them.
+//
+// The BI (Morton/Z-order) layout recursively places the top-left quadrant,
+// then top-right, bottom-left, bottom-right. Its defining property, which the
+// paper's block-miss bounds for matrix multiply rely on, is that every
+// aligned power-of-two quadrant occupies a *contiguous* range of memory, so a
+// recursive subtask writes to O(1) blocks shared with its parent task.
+package layout
+
+import "fmt"
+
+// Kind selects a storage format.
+type Kind uint8
+
+const (
+	// RowMajor stores element (r, c) of an n x n matrix at index r*n + c.
+	RowMajor Kind = iota
+	// BitInterleaved stores element (r, c) at the Morton index of (r, c):
+	// row bits occupy the odd bit positions, column bits the even ones, so
+	// quadrant order is TL, TR, BL, BR.
+	BitInterleaved
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RowMajor:
+		return "RM"
+	case BitInterleaved:
+		return "BI"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// spreadBits inserts a zero bit above every bit of x: abc -> 0a0b0c.
+func spreadBits(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compactBits is the inverse of spreadBits: it keeps the even bit positions.
+func compactBits(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}
+
+// MortonIndex returns the BI index of element (r, c). The matrix side need
+// not be passed: Morton indexing is self-similar. r and c must be < 2^31.
+func MortonIndex(r, c int) int {
+	return int(spreadBits(uint32(r))<<1 | spreadBits(uint32(c)))
+}
+
+// MortonCoords inverts MortonIndex.
+func MortonCoords(idx int) (r, c int) {
+	v := uint64(idx)
+	return int(compactBits(v >> 1)), int(compactBits(v))
+}
+
+// RMIndex returns the row-major index of (r, c) in an n x n matrix.
+func RMIndex(r, c, n int) int { return r*n + c }
+
+// RMCoords inverts RMIndex.
+func RMCoords(idx, n int) (r, c int) { return idx / n, idx % n }
+
+// Index returns the index of (r, c) under layout k for an n x n matrix.
+func Index(k Kind, r, c, n int) int {
+	if k == RowMajor {
+		return RMIndex(r, c, n)
+	}
+	return MortonIndex(r, c)
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Quadrant identifies one of the four quadrants in BI order.
+type Quadrant int
+
+const (
+	QTL Quadrant = iota // top-left
+	QTR                 // top-right
+	QBL                 // bottom-left
+	QBR                 // bottom-right
+)
+
+// QuadrantOffset returns the offset of quadrant q within the contiguous BI
+// representation of an n x n matrix (n a power of two).
+func QuadrantOffset(q Quadrant, n int) int {
+	if !IsPow2(n) || n < 2 {
+		panic(fmt.Sprintf("layout: QuadrantOffset of n=%d", n))
+	}
+	return int(q) * (n / 2) * (n / 2)
+}
+
+// QuadrantOrigin returns the (row, col) origin of quadrant q of an n x n
+// matrix.
+func QuadrantOrigin(q Quadrant, n int) (r, c int) {
+	h := n / 2
+	switch q {
+	case QTL:
+		return 0, 0
+	case QTR:
+		return 0, h
+	case QBL:
+		return h, 0
+	case QBR:
+		return h, h
+	}
+	panic("layout: bad quadrant")
+}

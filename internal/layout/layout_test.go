@@ -1,0 +1,121 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonSmallCases(t *testing.T) {
+	cases := []struct{ r, c, want int }{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {1, 1, 3},
+		{0, 2, 4}, {0, 3, 5}, {1, 2, 6}, {1, 3, 7},
+		{2, 0, 8}, {3, 3, 15},
+	}
+	for _, tc := range cases {
+		if got := MortonIndex(tc.r, tc.c); got != tc.want {
+			t.Errorf("MortonIndex(%d,%d) = %d, want %d", tc.r, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMortonQuadrantContiguity(t *testing.T) {
+	// The defining property: quadrant q of an n x n matrix occupies indices
+	// [q*(n/2)^2, (q+1)*(n/2)^2).
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		h := n / 2
+		for q := QTL; q <= QBR; q++ {
+			off := QuadrantOffset(q, n)
+			r0, c0 := QuadrantOrigin(q, n)
+			for r := 0; r < h; r++ {
+				for c := 0; c < h; c++ {
+					idx := MortonIndex(r0+r, c0+c)
+					if idx < off || idx >= off+h*h {
+						t.Fatalf("n=%d q=%d: element (%d,%d) at %d outside [%d,%d)",
+							n, q, r0+r, c0+c, idx, off, off+h*h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMortonRoundTripProperty(t *testing.T) {
+	f := func(r, c uint16) bool {
+		idx := MortonIndex(int(r), int(c))
+		rr, cc := MortonCoords(idx)
+		return rr == int(r) && cc == int(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonBijectionOnSquare(t *testing.T) {
+	n := 32
+	seen := make([]bool, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			idx := MortonIndex(r, c)
+			if idx < 0 || idx >= n*n {
+				t.Fatalf("index %d out of range for (%d,%d)", idx, r, c)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d hit twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestMortonMonotoneInQuadrantRecursion(t *testing.T) {
+	// Property: for random coordinates, the high bits of the Morton index
+	// select the quadrant: idx >> (2k) identifies the 2^k-aligned tile.
+	f := func(r, c uint8) bool {
+		idx := MortonIndex(int(r), int(c))
+		tile := idx >> 4 // 4x4 tiles
+		return tile == MortonIndex(int(r)/4, int(c)/4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMRoundTripProperty(t *testing.T) {
+	n := 64
+	f := func(r8, c8 uint8) bool {
+		r, c := int(r8)%n, int(c8)%n
+		rr, cc := RMCoords(RMIndex(r, c, n), n)
+		return rr == r && cc == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexDispatch(t *testing.T) {
+	if Index(RowMajor, 3, 5, 8) != 29 {
+		t.Errorf("RM Index wrong")
+	}
+	if Index(BitInterleaved, 3, 5, 8) != MortonIndex(3, 5) {
+		t.Errorf("BI Index wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if RowMajor.String() != "RM" || BitInterleaved.String() != "BI" {
+		t.Errorf("Kind.String broken: %s %s", RowMajor, BitInterleaved)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package machine assembles the abstract multicore of Section 2 of the
+// paper: p processors, each with a private size-M cache organized in size-B
+// blocks, above an unbounded shared memory. Writes follow the invalidation
+// rule of Section 2.1: an update by processor C' to a block resident in
+// processor C's cache invalidates C's copy, and C's next access to the block
+// is a *block miss*. Misses that are not invalidation-induced (cold or
+// capacity) are *cache misses*. Both stall the processor for the cache-miss
+// cost b; contended blocks additionally serialize, so x near-simultaneous
+// accesses to one block can delay a processor by Θ(x·b) — the unbounded block
+// delay the paper's algorithmic restrictions exist to control.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"rwsfs/internal/cache"
+	"rwsfs/internal/mem"
+)
+
+// Tick is simulated time, in abstract time units. One unit of in-cache work
+// costs one Tick; a cache miss costs CostMiss Ticks.
+type Tick int64
+
+// Arbitration selects how near-simultaneous misses on one block serialize.
+type Arbitration int
+
+const (
+	// ArbitrationFIFO serves block fetches in global time order (ties by
+	// processor ID). This is the default, "fair" mechanism.
+	ArbitrationFIFO Arbitration = iota
+	// ArbitrationFree serves every fetch immediately with no serialization;
+	// it isolates miss *counting* from contention *delay* in experiments.
+	ArbitrationFree
+)
+
+// Params are the machine's structural and cost parameters, in the paper's
+// notation: P processors, cache size M words, block size B words, cache-miss
+// cost b, steal cost s, failed-steal cost O(s) (CostFailSteal ≤ CostSteal).
+type Params struct {
+	P             int  // number of processors (p)
+	M             int  // words per private cache (M); must be a multiple of B
+	B             int  // words per block (B); power of two
+	CostMiss      Tick // b: stall for one cache or block miss
+	CostSteal     Tick // s: cost of a successful steal (s >= b per Sec. 5)
+	CostFailSteal Tick // cost of an unsuccessful steal (<= s)
+	CostNode      Tick // e1-ish: work charged per O(1) DAG node, default 1
+	Arbitration   Arbitration
+	TrackWrites   bool // record per-address write counts (Property 4.1 checks)
+}
+
+// DefaultParams returns a small, realistic configuration: 32 KiB caches of
+// 128-byte lines (M=4096 words, B=16 words), b=10, s=20.
+func DefaultParams(p int) Params {
+	return Params{
+		P:             p,
+		M:             4096,
+		B:             16,
+		CostMiss:      10,
+		CostSteal:     20,
+		CostFailSteal: 10,
+		CostNode:      1,
+	}
+}
+
+// Validate checks parameter consistency against the paper's assumptions.
+func (pr Params) Validate() error {
+	switch {
+	case pr.P <= 0:
+		return fmt.Errorf("machine: P=%d", pr.P)
+	case pr.B <= 0 || pr.B&(pr.B-1) != 0:
+		return fmt.Errorf("machine: B=%d is not a positive power of two", pr.B)
+	case pr.M < pr.B || pr.M%pr.B != 0:
+		return fmt.Errorf("machine: M=%d must be a positive multiple of B=%d", pr.M, pr.B)
+	case pr.CostMiss <= 0:
+		return fmt.Errorf("machine: CostMiss=%d", pr.CostMiss)
+	case pr.CostSteal < pr.CostMiss:
+		return fmt.Errorf("machine: CostSteal=%d < CostMiss=%d (paper assumes s >= b)", pr.CostSteal, pr.CostMiss)
+	case pr.CostFailSteal <= 0 || pr.CostFailSteal > pr.CostSteal:
+		return fmt.Errorf("machine: CostFailSteal=%d not in (0, CostSteal=%d]", pr.CostFailSteal, pr.CostSteal)
+	case pr.CostNode <= 0:
+		return fmt.Errorf("machine: CostNode=%d", pr.CostNode)
+	}
+	return nil
+}
+
+// ProcCounters aggregates one processor's activity.
+type ProcCounters struct {
+	WorkTicks         Tick  // ticks spent on in-cache work
+	CacheMisses       int64 // cold + capacity misses
+	BlockMisses       int64 // invalidation-induced misses (incl. false sharing)
+	MissStall         Tick  // ticks stalled fetching blocks (transfer itself)
+	BlockWait         Tick  // extra ticks waiting for a contended block
+	StealsOK          int64
+	StealsFail        int64
+	StealTicks        Tick
+	Usurpations       int64 // times this processor took over another task's kernel
+	NodesExecuted     int64
+	AccessesTimed     int64 // timed word accesses issued (reads+writes)
+	InvalidationsSent int64 // writes by this proc that invalidated remote copies
+}
+
+// Machine is the simulated multicore. It is not safe for concurrent use; the
+// scheduler serializes all calls.
+type Machine struct {
+	Params
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+
+	caches []*cache.Cache
+	// invalidated[p] holds blocks processor p lost to a remote write and has
+	// not since re-fetched or naturally evicted: the pending block misses.
+	invalidated []map[mem.BlockID]struct{}
+	// busyUntil serializes fetches of a contended block (FIFO arbitration).
+	busyUntil map[mem.BlockID]Tick
+	// transfers counts, per block, how many times it was fetched into some
+	// cache: Definition 4.1's block-delay measure m for the whole run.
+	transfers map[mem.BlockID]int64
+
+	Proc []ProcCounters
+
+	// OnTransfer, when non-nil, observes every block fetch as it is charged
+	// (after the transfer count is updated). The scheduler uses it to audit
+	// per-task block delays against Lemmas 4.3/4.4.
+	OnTransfer func(mem.BlockID)
+
+	writeCounts     map[mem.Addr]int64 // only when TrackWrites
+	retiredWriteMax int64              // max writes over retired (dead) variables
+}
+
+// New builds a machine from params, validating them.
+func New(pr Params) (*Machine, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	memory := mem.New(pr.B)
+	m := &Machine{
+		Params:      pr,
+		Mem:         memory,
+		Alloc:       mem.NewAllocator(memory),
+		caches:      make([]*cache.Cache, pr.P),
+		invalidated: make([]map[mem.BlockID]struct{}, pr.P),
+		busyUntil:   make(map[mem.BlockID]Tick),
+		transfers:   make(map[mem.BlockID]int64),
+		Proc:        make([]ProcCounters, pr.P),
+	}
+	for i := range m.caches {
+		m.caches[i] = cache.New(pr.M / pr.B)
+		m.invalidated[i] = make(map[mem.BlockID]struct{})
+	}
+	if pr.TrackWrites {
+		m.writeCounts = make(map[mem.Addr]int64)
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on invalid params; for tests and examples.
+func MustNew(pr Params) *Machine {
+	m, err := New(pr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Access performs one timed word access by processor p at time now and
+// returns the stall delay the processor incurs. Coherence state, miss
+// classification and block-transfer counts are updated.
+func (m *Machine) Access(p int, a mem.Addr, write bool, now Tick) Tick {
+	c := &m.Proc[p]
+	c.AccessesTimed++
+	if write && m.writeCounts != nil {
+		m.writeCounts[a]++
+	}
+	bid := m.Mem.Block(a)
+	delay := m.accessBlock(p, bid, write, now)
+	return delay
+}
+
+// AccessRange performs a timed access to the n words starting at a, as a
+// single bulk operation: each distinct block in the range is touched once.
+// The returned delay is the total serialized stall. Bulk accesses model a
+// base-case kernel streaming through contiguous data.
+func (m *Machine) AccessRange(p int, a mem.Addr, n int, write bool, now Tick) Tick {
+	if n <= 0 {
+		return 0
+	}
+	c := &m.Proc[p]
+	c.AccessesTimed += int64(n)
+	if write && m.writeCounts != nil {
+		for i := 0; i < n; i++ {
+			m.writeCounts[a+mem.Addr(i)]++
+		}
+	}
+	first := m.Mem.Block(a)
+	last := m.Mem.Block(a + mem.Addr(n-1))
+	var total Tick
+	for b := first; b <= last; b++ {
+		total += m.accessBlock(p, b, write, now+total)
+	}
+	return total
+}
+
+// accessBlock is the coherence core: one processor touches one block.
+func (m *Machine) accessBlock(p int, bid mem.BlockID, write bool, now Tick) Tick {
+	c := &m.Proc[p]
+	var delay Tick
+	if m.caches[p].Touch(bid) {
+		// Hit. A write still invalidates remote copies (upgrade).
+		if write {
+			m.invalidateOthers(p, bid)
+		}
+		return 0
+	}
+	// Miss: classify.
+	if _, lost := m.invalidated[p][bid]; lost {
+		c.BlockMisses++
+		delete(m.invalidated[p], bid)
+	} else {
+		c.CacheMisses++
+	}
+	// Fetch, with per-block serialization under FIFO arbitration.
+	start := now
+	if m.Arbitration == ArbitrationFIFO {
+		if bu, ok := m.busyUntil[bid]; ok && bu > start {
+			c.BlockWait += bu - start
+			start = bu
+		}
+		m.busyUntil[bid] = start + m.CostMiss
+	}
+	c.MissStall += m.CostMiss
+	delay = (start - now) + m.CostMiss
+	m.transfers[bid]++
+	if m.OnTransfer != nil {
+		m.OnTransfer(bid)
+	}
+	if _, ev := m.caches[p].Insert(bid); ev {
+		// Natural eviction: any pending invalidation marker for the victim
+		// stays irrelevant because markers only exist for non-resident
+		// blocks; nothing to do.
+		_ = ev
+	}
+	if write {
+		m.invalidateOthers(p, bid)
+	}
+	return delay
+}
+
+func (m *Machine) invalidateOthers(p int, bid mem.BlockID) {
+	for q := 0; q < m.P; q++ {
+		if q == p {
+			continue
+		}
+		if m.caches[q].Remove(bid) {
+			m.invalidated[q][bid] = struct{}{}
+			m.Proc[p].InvalidationsSent++
+		}
+	}
+}
+
+// Cache exposes processor p's cache for tests.
+func (m *Machine) Cache(p int) *cache.Cache { return m.caches[p] }
+
+// Totals sums the per-processor counters.
+func (m *Machine) Totals() ProcCounters {
+	var t ProcCounters
+	for i := range m.Proc {
+		c := &m.Proc[i]
+		t.WorkTicks += c.WorkTicks
+		t.CacheMisses += c.CacheMisses
+		t.BlockMisses += c.BlockMisses
+		t.MissStall += c.MissStall
+		t.BlockWait += c.BlockWait
+		t.StealsOK += c.StealsOK
+		t.StealsFail += c.StealsFail
+		t.StealTicks += c.StealTicks
+		t.Usurpations += c.Usurpations
+		t.NodesExecuted += c.NodesExecuted
+		t.AccessesTimed += c.AccessesTimed
+		t.InvalidationsSent += c.InvalidationsSent
+	}
+	return t
+}
+
+// BlockTransfers returns the total number of block fetches (Definition 4.1's
+// moves) and the maximum over any single block. The per-block maximum is the
+// quantity Lemmas 4.3/4.4 bound by O(min{B, ht}) resp. Y(|τ|, B).
+func (m *Machine) BlockTransfers() (total int64, maxPerBlock int64) {
+	for _, n := range m.transfers {
+		total += n
+		if n > maxPerBlock {
+			maxPerBlock = n
+		}
+	}
+	return total, maxPerBlock
+}
+
+// TransfersOf reports the fetch count of the block containing a.
+func (m *Machine) TransfersOf(a mem.Addr) int64 { return m.transfers[m.Mem.Block(a)] }
+
+// HotBlocks returns the k most-transferred blocks in decreasing order.
+func (m *Machine) HotBlocks(k int) []struct {
+	Block mem.BlockID
+	Moves int64
+} {
+	type bt struct {
+		Block mem.BlockID
+		Moves int64
+	}
+	all := make([]bt, 0, len(m.transfers))
+	for b, n := range m.transfers {
+		all = append(all, bt{b, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Moves != all[j].Moves {
+			return all[i].Moves > all[j].Moves
+		}
+		return all[i].Block < all[j].Block
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]struct {
+		Block mem.BlockID
+		Moves int64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			Block mem.BlockID
+			Moves int64
+		}{all[i].Block, all[i].Moves}
+	}
+	return out
+}
+
+// MaxWriteCount returns the largest per-variable write count observed, or -1
+// if write tracking is off. Limited-access algorithms (Property 4.1) must
+// keep this O(1). A "variable" is an address between two RetireRange calls:
+// execution-stack reuse deliberately re-assigns addresses to new variables
+// (the behaviour Lemma 4.4 analyzes), so stack allocators retire old counts.
+func (m *Machine) MaxWriteCount() int64 {
+	if m.writeCounts == nil {
+		return -1
+	}
+	mx := m.retiredWriteMax
+	for _, n := range m.writeCounts {
+		if n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// RetireRange marks the variables stored at [a, a+n) dead: their write
+// counts are folded into the retired maximum and reset, so a subsequent
+// reuse of the addresses counts as fresh variables. No-op unless
+// TrackWrites.
+func (m *Machine) RetireRange(a mem.Addr, n int) {
+	if m.writeCounts == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		ad := a + mem.Addr(i)
+		if cnt, ok := m.writeCounts[ad]; ok {
+			if cnt > m.retiredWriteMax {
+				m.retiredWriteMax = cnt
+			}
+			delete(m.writeCounts, ad)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package matrix provides square matrices stored in simulated memory under
+// either of the paper's two layouts (Row Major or Bit Interleaved), plus
+// host-side helpers to fill and read them for test oracles.
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rwsfs/internal/layout"
+	"rwsfs/internal/mem"
+)
+
+// Mat describes an n x n matrix of float64 words in simulated memory.
+// For BitInterleaved layout, n must be a power of two.
+type Mat struct {
+	Base   mem.Addr
+	N      int
+	Layout layout.Kind
+}
+
+// New allocates an n x n matrix from al under layout k.
+func New(al *mem.Allocator, n int, k layout.Kind) Mat {
+	if n <= 0 {
+		panic(fmt.Sprintf("matrix: n=%d", n))
+	}
+	if k == layout.BitInterleaved && !layout.IsPow2(n) {
+		panic(fmt.Sprintf("matrix: BI layout needs power-of-two n, got %d", n))
+	}
+	return Mat{Base: al.Alloc(n * n), N: n, Layout: k}
+}
+
+// Words returns the storage size n².
+func (m Mat) Words() int { return m.N * m.N }
+
+// At returns the simulated address of element (r, c).
+func (m Mat) At(r, c int) mem.Addr {
+	return m.Base + mem.Addr(layout.Index(m.Layout, r, c, m.N))
+}
+
+// Quad returns quadrant q of a BI matrix as a contiguous BI submatrix.
+// It panics for RM matrices, whose quadrants are not contiguous.
+func (m Mat) Quad(q layout.Quadrant) Mat {
+	if m.Layout != layout.BitInterleaved {
+		panic("matrix: Quad on non-BI matrix")
+	}
+	if m.N < 2 {
+		panic("matrix: Quad of 1x1 matrix")
+	}
+	return Mat{
+		Base:   m.Base + mem.Addr(layout.QuadrantOffset(q, m.N)),
+		N:      m.N / 2,
+		Layout: layout.BitInterleaved,
+	}
+}
+
+// Set writes v at (r, c) directly (host-side, untimed).
+func (m Mat) Set(mm *mem.Memory, r, c int, v float64) { mm.StoreFloat(m.At(r, c), v) }
+
+// Get reads (r, c) directly (host-side, untimed).
+func (m Mat) Get(mm *mem.Memory, r, c int) float64 { return mm.LoadFloat(m.At(r, c)) }
+
+// Fill copies vals into the matrix (host-side, untimed): initial input data
+// living in shared memory, resident in no cache.
+func (m Mat) Fill(mm *mem.Memory, vals [][]float64) {
+	if len(vals) != m.N {
+		panic("matrix: Fill dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		if len(vals[r]) != m.N {
+			panic("matrix: Fill dimension mismatch")
+		}
+		for c := 0; c < m.N; c++ {
+			m.Set(mm, r, c, vals[r][c])
+		}
+	}
+}
+
+// Read copies the matrix out to a host slice (untimed).
+func (m Mat) Read(mm *mem.Memory) [][]float64 {
+	out := make([][]float64, m.N)
+	for r := range out {
+		out[r] = make([]float64, m.N)
+		for c := range out[r] {
+			out[r][c] = m.Get(mm, r, c)
+		}
+	}
+	return out
+}
+
+// Zero clears the matrix (host-side, untimed).
+func (m Mat) Zero(mm *mem.Memory) {
+	for i := 0; i < m.Words(); i++ {
+		mm.StoreFloat(m.Base+mem.Addr(i), 0)
+	}
+}
+
+// Random returns an n x n host matrix of small integers (exact in float64),
+// deterministic in seed.
+func Random(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for r := range out {
+		out[r] = make([]float64, n)
+		for c := range out[r] {
+			out[r][c] = float64(rng.Intn(9) - 4)
+		}
+	}
+	return out
+}
+
+// Multiply is the sequential oracle: returns a*b.
+func Multiply(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// Add is the sequential addition oracle.
+func Add(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = a[i][j] + b[i][j]
+		}
+	}
+	return out
+}
+
+// Transpose is the sequential transpose oracle.
+func Transpose(a [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = a[j][i]
+		}
+	}
+	return out
+}
+
+// Equal compares two host matrices exactly.
+func Equal(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

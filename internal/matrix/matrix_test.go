@@ -1,0 +1,170 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/layout"
+	"rwsfs/internal/mem"
+)
+
+func newMem() (*mem.Memory, *mem.Allocator) {
+	m := mem.New(16)
+	return m, mem.NewAllocator(m)
+}
+
+func TestFillReadRoundTrip(t *testing.T) {
+	m, al := newMem()
+	for _, k := range []layout.Kind{layout.RowMajor, layout.BitInterleaved} {
+		a := New(al, 8, k)
+		vals := Random(8, 3)
+		a.Fill(m, vals)
+		if !Equal(a.Read(m), vals) {
+			t.Errorf("%v round trip failed", k)
+		}
+	}
+}
+
+func TestLayoutsDifferInMemoryAgreeInValues(t *testing.T) {
+	m, al := newMem()
+	vals := Random(8, 9)
+	rm := New(al, 8, layout.RowMajor)
+	bi := New(al, 8, layout.BitInterleaved)
+	rm.Fill(m, vals)
+	bi.Fill(m, vals)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if rm.Get(m, r, c) != bi.Get(m, r, c) {
+				t.Fatalf("value mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	// But the flat images differ (it is a different permutation).
+	same := true
+	for i := 0; i < 64; i++ {
+		if m.LoadFloat(rm.Base+mem.Addr(i)) != m.LoadFloat(bi.Base+mem.Addr(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("RM and BI flat layouts identical for a random matrix")
+	}
+}
+
+func TestQuadViews(t *testing.T) {
+	m, al := newMem()
+	a := New(al, 8, layout.BitInterleaved)
+	vals := Random(8, 5)
+	a.Fill(m, vals)
+	for q := layout.QTL; q <= layout.QBR; q++ {
+		r0, c0 := layout.QuadrantOrigin(q, 8)
+		sub := a.Quad(q)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				if sub.Get(m, r, c) != vals[r0+r][c0+c] {
+					t.Fatalf("quadrant %d mismatch at (%d,%d)", q, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestQuadPanicsForRM(t *testing.T) {
+	_, al := newMem()
+	a := New(al, 8, layout.RowMajor)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quad of RM matrix did not panic")
+		}
+	}()
+	a.Quad(layout.QTL)
+}
+
+func TestNewValidations(t *testing.T) {
+	_, al := newMem()
+	for _, f := range []func(){
+		func() { New(al, 0, layout.RowMajor) },
+		func() { New(al, 6, layout.BitInterleaved) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	// Non-power-of-two RM is fine.
+	if New(al, 6, layout.RowMajor).N != 6 {
+		t.Error("RM 6x6 failed")
+	}
+}
+
+func TestMultiplyOracleProperties(t *testing.T) {
+	// A·I = A and (A·B)ᵀ = Bᵀ·Aᵀ on random small matrices.
+	f := func(seed int64) bool {
+		n := 8
+		a := Random(n, seed)
+		b := Random(n, seed+1)
+		id := make([][]float64, n)
+		for i := range id {
+			id[i] = make([]float64, n)
+			id[i][i] = 1
+		}
+		if !Equal(Multiply(a, id), a) {
+			return false
+		}
+		left := Transpose(Multiply(a, b))
+		right := Multiply(Transpose(b), Transpose(a))
+		return Equal(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAndZero(t *testing.T) {
+	m, al := newMem()
+	a := Random(4, 1)
+	b := Random(4, 2)
+	sum := Add(a, b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if sum[i][j] != a[i][j]+b[i][j] {
+				t.Fatal("Add wrong")
+			}
+		}
+	}
+	mm := New(al, 4, layout.BitInterleaved)
+	mm.Fill(m, a)
+	mm.Zero(m)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if mm.Get(m, i, j) != 0 {
+				t.Fatal("Zero left data")
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	if !Equal(Random(16, 7), Random(16, 7)) {
+		t.Error("Random not deterministic in seed")
+	}
+	if Equal(Random(16, 7), Random(16, 8)) {
+		t.Error("Random identical across seeds")
+	}
+}
+
+func TestEqualEdgeCases(t *testing.T) {
+	if !Equal(nil, nil) {
+		t.Error("nil matrices should be equal")
+	}
+	if Equal([][]float64{{1}}, [][]float64{{1, 2}}) {
+		t.Error("ragged matrices compared equal")
+	}
+	if Equal([][]float64{{1}}, nil) {
+		t.Error("different sizes compared equal")
+	}
+}

@@ -1,0 +1,159 @@
+// Package mem provides the simulated word-addressed shared memory of the
+// machine model in Section 2 of Cole & Ramachandran, "Analysis of Randomized
+// Work Stealing with False Sharing".
+//
+// Memory is a flat array of 64-bit words grouped into blocks (cache lines) of
+// B words. Addresses are word indices. The package deliberately knows nothing
+// about caches or costs; it only stores values and does block arithmetic.
+// Pages are allocated lazily so that a large simulated address space (stacks
+// for many stolen tasks) does not consume host memory until touched.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Addr is a simulated memory address, in words.
+type Addr int64
+
+// BlockID identifies a cache block (line): BlockID = Addr / B.
+type BlockID int64
+
+// pageShift sets the lazy-allocation page size: 2^pageShift words per page.
+const pageShift = 13
+
+const pageWords = 1 << pageShift
+
+// Memory is a lazily-paged simulated shared memory.
+//
+// The zero value is not usable; call New.
+type Memory struct {
+	blockWords int
+	pages      map[int64][]uint64
+	// One-entry lookaside for the most recently touched page; raw value
+	// accesses during base-case kernels are strongly local.
+	lastPage  int64
+	lastSlice []uint64
+}
+
+// New returns an empty memory whose blocks hold blockWords words each.
+// blockWords must be a power of two.
+func New(blockWords int) *Memory {
+	if blockWords <= 0 || blockWords&(blockWords-1) != 0 {
+		panic(fmt.Sprintf("mem: block size %d is not a positive power of two", blockWords))
+	}
+	return &Memory{
+		blockWords: blockWords,
+		pages:      make(map[int64][]uint64),
+		lastPage:   -1,
+	}
+}
+
+// BlockWords reports the number of words per block (the paper's B).
+func (m *Memory) BlockWords() int { return m.blockWords }
+
+// Block returns the block containing address a.
+func (m *Memory) Block(a Addr) BlockID {
+	if a < 0 {
+		panic(fmt.Sprintf("mem: negative address %d", a))
+	}
+	return BlockID(int64(a) / int64(m.blockWords))
+}
+
+// BlockStart returns the first address of block b.
+func (m *Memory) BlockStart(b BlockID) Addr { return Addr(int64(b) * int64(m.blockWords)) }
+
+// BlocksSpanned returns how many distinct blocks the range [a, a+n) touches.
+func (m *Memory) BlocksSpanned(a Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	first := int64(a) / int64(m.blockWords)
+	last := (int64(a) + int64(n) - 1) / int64(m.blockWords)
+	return int(last - first + 1)
+}
+
+func (m *Memory) word(a Addr) *uint64 {
+	if a < 0 {
+		panic(fmt.Sprintf("mem: negative address %d", a))
+	}
+	page := int64(a) >> pageShift
+	if page != m.lastPage {
+		s, ok := m.pages[page]
+		if !ok {
+			s = make([]uint64, pageWords)
+			m.pages[page] = s
+		}
+		m.lastPage, m.lastSlice = page, s
+	}
+	return &m.lastSlice[int(a)&(pageWords-1)]
+}
+
+// LoadBits returns the raw 64-bit pattern at a.
+func (m *Memory) LoadBits(a Addr) uint64 { return *m.word(a) }
+
+// StoreBits writes a raw 64-bit pattern at a.
+func (m *Memory) StoreBits(a Addr, v uint64) { *m.word(a) = v }
+
+// LoadInt returns the word at a interpreted as a signed integer.
+func (m *Memory) LoadInt(a Addr) int64 { return int64(*m.word(a)) }
+
+// StoreInt writes a signed integer at a.
+func (m *Memory) StoreInt(a Addr, v int64) { *m.word(a) = uint64(v) }
+
+// LoadFloat returns the word at a interpreted as a float64.
+func (m *Memory) LoadFloat(a Addr) float64 { return math.Float64frombits(*m.word(a)) }
+
+// StoreFloat writes a float64 at a.
+func (m *Memory) StoreFloat(a Addr, v float64) { *m.word(a) = math.Float64bits(v) }
+
+// TouchedPages reports how many pages have been materialized; useful for
+// asserting that lazy paging keeps host memory proportional to data touched.
+func (m *Memory) TouchedPages() int { return len(m.pages) }
+
+// Allocator hands out disjoint, block-aligned regions of simulated memory.
+//
+// It implements Property 4.3 of the paper (the Space Allocation Property):
+// whenever a processor requests space it is allocated in block-sized units,
+// allocations to different requests are disjoint, and no block is shared
+// between two allocations.
+type Allocator struct {
+	m    *Memory
+	next Addr
+}
+
+// NewAllocator returns an allocator for m starting at address 0.
+func NewAllocator(m *Memory) *Allocator {
+	return &Allocator{m: m}
+}
+
+// Alloc reserves words of simulated memory rounded up to whole blocks and
+// returns the (block-aligned) base address.
+func (al *Allocator) Alloc(words int) Addr {
+	if words <= 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d)", words))
+	}
+	b := int64(al.m.blockWords)
+	base := al.next
+	n := (int64(words) + b - 1) / b * b
+	al.next += Addr(n)
+	return base
+}
+
+// Mark returns the current high-water address, and Release rolls the
+// allocator back to a previous mark. Release is used by the stack pool to
+// recycle entire stack regions; rolling back is only valid when every
+// allocation made after the mark is dead.
+func (al *Allocator) Mark() Addr { return al.next }
+
+// Release rolls the allocation point back to mark.
+func (al *Allocator) Release(mark Addr) {
+	if mark > al.next {
+		panic("mem: Release beyond high-water mark")
+	}
+	al.next = mark
+}
+
+// Reserved reports the total words of address space handed out.
+func (al *Allocator) Reserved() int64 { return int64(al.next) }

@@ -1,0 +1,86 @@
+// Package native is a real (non-simulated) randomized work-stealing runtime
+// on goroutines, with the same scheduling discipline as the paper's model:
+// per-worker deques, owner pushes/pops at the bottom, thieves steal from the
+// top of a uniformly random victim. It exists to demonstrate on the host
+// machine the phenomena the simulator measures exactly — in particular that
+// false sharing of adjacent words is a real cost (experiment E14) — and to
+// provide a usable parallel runtime for the examples.
+//
+// The paper's counters (cache misses, block misses) are not observable from
+// portable Go; wall-clock time and steal counts are, and those are what this
+// package reports.
+package native
+
+import (
+	"sync/atomic"
+)
+
+// dequeCap is the fixed capacity of each worker deque. Tasks beyond the
+// capacity are executed inline by the owner, which preserves correctness
+// (it only reduces available parallelism).
+const dequeCap = 1 << 13
+
+// deque is a Chase-Lev work-stealing deque specialized to func() values.
+// The owner calls push/pop on the bottom; thieves call steal on the top.
+type deque struct {
+	top    atomic.Int64
+	_      [56]byte // keep top and bottom on different cache lines
+	bottom atomic.Int64
+	_      [56]byte
+	buf    [dequeCap]atomic.Pointer[task]
+}
+
+// task is one unit of stealable work; run receives the id of the worker
+// executing it.
+type task struct {
+	run func(w int)
+}
+
+// push adds t at the bottom. It reports false when the deque is full.
+func (d *deque) push(t *task) bool {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	if b-top >= dequeCap-1 {
+		return false
+	}
+	d.buf[b&(dequeCap-1)].Store(t)
+	d.bottom.Store(b + 1) // release: publish the slot before the new bottom
+	return true
+}
+
+// pop removes and returns the bottom task, or nil.
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	top := d.top.Load()
+	switch {
+	case b < top:
+		// Empty: restore.
+		d.bottom.Store(top)
+		return nil
+	case b == top:
+		// Last element: race against thieves via CAS on top.
+		t := d.buf[b&(dequeCap-1)].Load()
+		if !d.top.CompareAndSwap(top, top+1) {
+			t = nil // a thief won
+		}
+		d.bottom.Store(top + 1)
+		return t
+	default:
+		return d.buf[b&(dequeCap-1)].Load()
+	}
+}
+
+// steal removes and returns the top task, or nil.
+func (d *deque) steal() *task {
+	top := d.top.Load()
+	b := d.bottom.Load()
+	if top >= b {
+		return nil
+	}
+	t := d.buf[top&(dequeCap-1)].Load()
+	if !d.top.CompareAndSwap(top, top+1) {
+		return nil // lost the race
+	}
+	return t
+}

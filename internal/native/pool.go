@@ -1,0 +1,161 @@
+package native
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size work-stealing goroutine pool executing fork-join
+// computations. Fork spawns a stealable closure; Wait joins it.
+//
+// Deadlock discipline: every task function receives the id of the worker
+// executing it and must pass that id to Fork/Wait. Fork pushes onto the
+// current worker's deque; Wait helps only from the waiter's *own* deque
+// (help-own, as in TBB's depth-restricted stealing). Idle workers steal from
+// uniformly random victims, as in the paper. Helping by stealing arbitrary
+// victims inside Wait could nest unrelated tasks on a blocked stack and form
+// cross-worker wait cycles; restricting help to the own deque keeps every
+// cross-worker dependency pointed at either a running task (progress) or a
+// deque task claimable by its owner (progress), so joins always complete.
+type Pool struct {
+	workers int
+	deques  []*deque
+	// inject receives externally submitted root tasks; deque push/pop are
+	// owner-only (Chase-Lev), so outside goroutines must not touch deques.
+	inject  chan *task
+	wg      sync.WaitGroup
+	stop    atomic.Bool
+	pending atomic.Int64
+	steals  atomic.Int64
+	fails   atomic.Int64
+}
+
+// NewPool starts workers goroutines (default: GOMAXPROCS when workers <= 0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		deques:  make([]*deque, workers),
+		inject:  make(chan *task, 64),
+	}
+	for i := range p.deques {
+		p.deques[i] = &deque{}
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Steals reports successful and failed steal counts so far.
+func (p *Pool) Steals() (ok, failed int64) { return p.steals.Load(), p.fails.Load() }
+
+// Close shuts the pool down after all submitted work finished.
+func (p *Pool) Close() {
+	for p.pending.Load() != 0 {
+		runtime.Gosched()
+	}
+	p.stop.Store(true)
+	p.wg.Wait()
+}
+
+// Handle joins one forked task.
+type Handle struct {
+	done atomic.Bool
+	pool *Pool
+}
+
+// Fork submits fn for parallel execution from worker w's deque; w must be
+// the id the caller's own task function received. If the deque is full the
+// task runs inline on w.
+func (p *Pool) Fork(w int, fn func(w int)) *Handle {
+	h := &Handle{pool: p}
+	t := &task{run: func(exec int) {
+		fn(exec)
+		h.done.Store(true)
+		p.pending.Add(-1)
+	}}
+	p.pending.Add(1)
+	w = w % len(p.deques)
+	if !p.deques[w].push(t) {
+		t.run(w)
+	}
+	return h
+}
+
+// Wait blocks until h's task completed, helping by draining worker w's own
+// deque (w as received by the calling task function).
+func (h *Handle) Wait(w int) {
+	p := h.pool
+	w = w % len(p.deques)
+	for !h.done.Load() {
+		if t := p.deques[w].pop(); t != nil {
+			t.run(w)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Run executes fn on a pool worker and blocks until it finishes: the entry
+// point for a whole computation. fn receives the executing worker's id.
+func (p *Pool) Run(fn func(w int)) {
+	var done atomic.Bool
+	t := &task{run: func(exec int) {
+		fn(exec)
+		done.Store(true)
+		p.pending.Add(-1)
+	}}
+	p.pending.Add(1)
+	p.inject <- t
+	for !done.Load() {
+		runtime.Gosched()
+	}
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+	for !p.stop.Load() {
+		t := p.deques[id].pop()
+		if t == nil {
+			select {
+			case t = <-p.inject:
+			default:
+			}
+		}
+		if t == nil {
+			t = p.stealFrom(id, rng)
+		}
+		if t != nil {
+			t.run(id)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (p *Pool) stealFrom(w int, rng *rand.Rand) *task {
+	n := len(p.deques)
+	if n == 1 {
+		return nil
+	}
+	v := rng.Intn(n - 1)
+	if v >= w {
+		v++
+	}
+	if t := p.deques[v].steal(); t != nil {
+		p.steals.Add(1)
+		return t
+	}
+	p.fails.Add(1)
+	return nil
+}

@@ -1,0 +1,82 @@
+package rws
+
+import (
+	"rwsfs/internal/mem"
+)
+
+// StackAudit records, for one task τ, the largest number of transfers any
+// single block of τ's own execution stack S_τ underwent *during τ's
+// lifetime*: exactly the block delay that Lemma 4.3 bounds by O(min{B, ht})
+// for tree tasks and Lemma 4.4 bounds by Y(|τ|, B) for Type-2 HBP tasks.
+type StackAudit struct {
+	TaskID         int64
+	Stolen         bool
+	KernelAccesses int64 // proxy for |τ| (timed accesses by the kernel)
+	MaxBlockMoves  int64 // max transfers of any one block of S_τ
+	StackBlocks    int   // number of S_τ blocks that moved at all
+}
+
+// taskAudit accumulates one live task's per-stack-block transfer counts.
+type taskAudit struct {
+	task   *Task
+	lo, hi mem.BlockID // S_τ's block range (inclusive lo, exclusive hi)
+	counts map[mem.BlockID]int64
+	max    int64
+}
+
+// auditor watches machine block transfers and attributes them to the live
+// tasks whose stacks contain the moved block. Enabled by
+// Config.AuditStackBlocks; the overhead is O(live tasks) per transfer.
+type auditor struct {
+	live    map[*Task]*taskAudit
+	results []StackAudit
+}
+
+func newAuditor() *auditor {
+	return &auditor{live: make(map[*Task]*taskAudit)}
+}
+
+// register starts auditing a task's stack region.
+func (a *auditor) register(t *Task, blockWords int) {
+	lo := mem.BlockID(int64(t.stack.Base()) / int64(blockWords))
+	hi := mem.BlockID((int64(t.stack.Base()) + int64(t.stack.Words()) + int64(blockWords) - 1) / int64(blockWords))
+	a.live[t] = &taskAudit{task: t, lo: lo, hi: hi, counts: make(map[mem.BlockID]int64)}
+}
+
+// observe attributes one transfer to every live task owning the block.
+// Stack regions of live tasks are disjoint (Property 4.3 + pooling), so at
+// most one task matches; the loop is still over all live tasks because the
+// auditor does not maintain an interval index — live counts are small.
+func (a *auditor) observe(bid mem.BlockID) {
+	for _, ta := range a.live {
+		if bid >= ta.lo && bid < ta.hi {
+			ta.counts[bid]++
+			if ta.counts[bid] > ta.max {
+				ta.max = ta.counts[bid]
+			}
+		}
+	}
+}
+
+// finish closes a task's audit and records the result.
+func (a *auditor) finish(t *Task) {
+	ta, ok := a.live[t]
+	if !ok {
+		return
+	}
+	delete(a.live, t)
+	a.results = append(a.results, StackAudit{
+		TaskID:         t.id,
+		Stolen:         t.stolen,
+		KernelAccesses: t.accesses,
+		MaxBlockMoves:  ta.max,
+		StackBlocks:    len(ta.counts),
+	})
+}
+
+// finishAll closes any remaining audits (the root task at end of run).
+func (a *auditor) finishAll() {
+	for t := range a.live {
+		a.finish(t)
+	}
+}

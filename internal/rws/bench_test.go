@@ -1,0 +1,57 @@
+package rws
+
+import (
+	"testing"
+
+	"rwsfs/internal/mem"
+)
+
+// BenchmarkForkJoinThroughput measures simulated-node throughput of the
+// engine: the practical limit on experiment sizes.
+func BenchmarkForkJoinThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(4)
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(1024)
+		e.Run(func(c *Ctx) {
+			c.ForkN(1024, func(j int, c *Ctx) {
+				c.Node()
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+	}
+}
+
+// BenchmarkAccessRangeSim measures bulk access charging.
+func BenchmarkAccessRangeSim(b *testing.B) {
+	cfg := DefaultConfig(1)
+	e := MustNewEngine(cfg)
+	buf := e.Machine().Alloc.Alloc(1 << 16)
+	n := 0
+	e.Run(func(c *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.ReadRange(buf, 1<<12)
+			n++
+		}
+	})
+	_ = n
+}
+
+// BenchmarkStealHeavy measures a steal-dominated workload: tiny tasks, many
+// processors.
+func BenchmarkStealHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(8)
+		cfg.Seed = int64(i + 1)
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(512)
+		res := e.Run(func(c *Ctx) {
+			c.ForkN(512, func(j int, c *Ctx) {
+				c.Work(5)
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+		b.ReportMetric(float64(res.Steals), "steals/op")
+	}
+}

@@ -1,0 +1,85 @@
+package rws
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+)
+
+// TestSpawnConservation verifies the scheduler's fundamental bookkeeping
+// identity on random fork trees: every spawned task is consumed exactly once
+// — stolen, popped inline by the owner at the fork's join, or drained by an
+// idle owner. Violations would mean lost or duplicated subcomputations.
+func TestSpawnConservation(t *testing.T) {
+	f := func(seed int64, pSel, shape uint8) bool {
+		p := []int{1, 2, 3, 4, 8}[int(pSel)%5]
+		cfg := DefaultConfig(p)
+		cfg.Seed = seed
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(512)
+		rng := rand.New(rand.NewSource(seed ^ int64(shape)))
+		// Random, irregular fork structure with data-dependent work.
+		var rec func(lo, hi int, c *Ctx)
+		rec = func(lo, hi int, c *Ctx) {
+			if hi-lo <= 1 {
+				c.Work(machine.Tick(1 + (lo*7)%23))
+				c.StoreInt(out+mem.Addr(lo), int64(lo))
+				return
+			}
+			// Biased split makes the tree lopsided.
+			span := hi - lo
+			cut := lo + 1 + rng.Intn(span-1)
+			c.Fork(
+				func(c *Ctx) { rec(lo, cut, c) },
+				func(c *Ctx) { rec(cut, hi, c) },
+			)
+		}
+		n := 64 + int(shape)%200
+		res := e.Run(func(c *Ctx) { rec(0, n, c) })
+		// Conservation: spawns fully partitioned among the three consumers.
+		if res.Spawns != res.Steals+res.InlinePops+res.IdlePops {
+			t.Logf("spawns=%d steals=%d inline=%d idle=%d",
+				res.Spawns, res.Steals, res.InlinePops, res.IdlePops)
+			return false
+		}
+		// Output completeness.
+		for i := 0; i < n; i++ {
+			if e.Machine().Mem.LoadInt(out+mem.Addr(i)) != int64(i) {
+				return false
+			}
+		}
+		// Binary fork tree over n leaves spawns exactly n-1 right children.
+		return res.Spawns == int64(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConservationUnderStealBudget repeats the identity with throttled
+// steals, where idle-pops must absorb what thieves cannot take.
+func TestConservationUnderStealBudget(t *testing.T) {
+	for _, budget := range []int64{0, 3, 10} {
+		cfg := DefaultConfig(8)
+		cfg.Seed = 5
+		cfg.StealBudget = budget
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(256)
+		res := e.Run(func(c *Ctx) {
+			c.ForkN(256, func(i int, c *Ctx) {
+				c.Work(10)
+				c.StoreInt(out+mem.Addr(i), 1)
+			})
+		})
+		if res.Spawns != res.Steals+res.InlinePops+res.IdlePops {
+			t.Errorf("budget %d: conservation violated: %d != %d+%d+%d",
+				budget, res.Spawns, res.Steals, res.InlinePops, res.IdlePops)
+		}
+		if res.Steals > budget {
+			t.Errorf("budget %d exceeded: %d", budget, res.Steals)
+		}
+	}
+}

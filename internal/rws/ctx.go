@@ -1,0 +1,206 @@
+package rws
+
+import (
+	"rwsfs/internal/exec"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+)
+
+// Ctx is the handle algorithm code uses to perform simulated work, memory
+// accesses, stack allocation and forking. A Ctx is bound to one strand; it is
+// only valid within the function the strand is executing.
+//
+// Timing discipline: every word of simulated data an algorithm reads or
+// writes must be covered by a *timed* access (Read/Write/ReadRange/WriteRange
+// or the Load*/Store* value helpers). After a range has been timed, its
+// values may be manipulated directly through Mem() without further charge —
+// that models a base-case kernel streaming through in-cache data. Arithmetic
+// cost is charged explicitly with Work; O(1) DAG-node overhead with Node.
+type Ctx struct {
+	e    *Engine
+	t    *Task
+	s    *strand
+	proc int
+}
+
+// request sends r to the engine and blocks until the engine schedules this
+// strand again, updating the current processor.
+func (c *Ctx) request(r request) {
+	c.s.req <- r
+	w := <-c.s.resume
+	c.proc = w.proc
+	c.s.proc = w.proc
+}
+
+// Proc returns the processor currently executing this strand. It can change
+// across Fork and joins (usurpations).
+func (c *Ctx) Proc() int { return c.proc }
+
+// Task returns the task (stolen unit) whose kernel this strand belongs to.
+func (c *Ctx) Task() *Task { return c.t }
+
+// Mem returns the simulated memory for raw (untimed) value manipulation of
+// already-timed ranges.
+func (c *Ctx) Mem() *mem.Memory { return c.e.mach.Mem }
+
+// B returns the machine's block size in words.
+func (c *Ctx) B() int { return c.e.mach.B }
+
+// Work charges t ticks of in-cache computation.
+func (c *Ctx) Work(t machine.Tick) {
+	if t <= 0 {
+		return
+	}
+	c.request(request{kind: reqWork, work: t})
+}
+
+// Node charges the O(1) cost of executing one DAG node and counts it.
+func (c *Ctx) Node() {
+	c.e.mach.Proc[c.proc].NodesExecuted++
+	c.request(request{kind: reqWork, work: c.e.mach.CostNode})
+}
+
+// Read performs a timed read of the word at a.
+func (c *Ctx) Read(a mem.Addr) {
+	c.request(request{kind: reqAccess, addr: a, n: 1})
+}
+
+// Write performs a timed write of the word at a.
+func (c *Ctx) Write(a mem.Addr) {
+	c.request(request{kind: reqAccess, addr: a, n: 1, write: true})
+}
+
+// ReadRange performs a timed read of n contiguous words starting at a; each
+// distinct block in the range is charged once.
+func (c *Ctx) ReadRange(a mem.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	c.request(request{kind: reqAccess, addr: a, n: n})
+}
+
+// WriteRange performs a timed write of n contiguous words starting at a.
+func (c *Ctx) WriteRange(a mem.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	c.request(request{kind: reqAccess, addr: a, n: n, write: true})
+}
+
+// LoadInt is a timed read returning the word at a as an integer; it also
+// charges one tick of work (the O(1) operation consuming the value).
+func (c *Ctx) LoadInt(a mem.Addr) int64 {
+	c.request(request{kind: reqAccess, addr: a, n: 1, work: 1})
+	return c.e.mach.Mem.LoadInt(a)
+}
+
+// StoreInt is a timed write of v at a, charging one tick of work.
+func (c *Ctx) StoreInt(a mem.Addr, v int64) {
+	c.e.mach.Mem.StoreInt(a, v)
+	c.request(request{kind: reqAccess, addr: a, n: 1, write: true, work: 1})
+}
+
+// LoadFloat is a timed read returning the word at a as a float64.
+func (c *Ctx) LoadFloat(a mem.Addr) float64 {
+	c.request(request{kind: reqAccess, addr: a, n: 1, work: 1})
+	return c.e.mach.Mem.LoadFloat(a)
+}
+
+// StoreFloat is a timed write of v at a.
+func (c *Ctx) StoreFloat(a mem.Addr, v float64) {
+	c.e.mach.Mem.StoreFloat(a, v)
+	c.request(request{kind: reqAccess, addr: a, n: 1, write: true, work: 1})
+}
+
+// Alloc allocates a words-long segment on this task's execution stack S_τ.
+// Allocation itself is untimed bookkeeping; accesses to the segment are timed
+// like any other accesses. The addresses become fresh variables for the
+// limited-access write tracker.
+func (c *Ctx) Alloc(words int) exec.Seg {
+	seg := c.t.stack.Alloc(words)
+	c.e.mach.RetireRange(seg.Base, seg.Words)
+	return seg
+}
+
+// Free returns a segment allocated with Alloc.
+func (c *Ctx) Free(seg exec.Seg) { c.t.stack.Free(seg) }
+
+// Fork runs left and right as the two sides of a series-parallel fork: right
+// is pushed on the current processor's queue bottom (stealable), left runs
+// now. Fork returns when both sides have completed; the continuation may be
+// executing on a different processor than the call began on.
+func (c *Ctx) Fork(left, right func(*Ctx)) {
+	c.ForkHint(0, left, right)
+}
+
+// ForkHint is Fork with a stack-size hint (in words) for the stolen
+// execution of right: if a thief steals it, the new task's execution stack
+// has at least hint words. Pass 0 for the engine default.
+func (c *Ctx) ForkHint(hint int, left, right func(*Ctx)) {
+	c.Node() // the fork node's O(1) work
+	seg := c.Alloc(1)
+	jc := &joinCell{addr: seg.Base}
+	// Creating the join flag is a write to the parent's stack segment: the
+	// "hidden variable for reporting the completion of a subtask" (Sec. 6.1).
+	c.Write(jc.addr)
+	sp := &spawn{fn: right, task: c.t, jc: jc, stackHint: hint}
+	c.e.pushBottom(c.proc, sp)
+
+	left(c)
+
+	if c.e.popBottomIf(c.proc, sp) {
+		// Not stolen: execute right inline as part of this kernel, then
+		// report its completion on the join flag.
+		right(c)
+		c.request(request{kind: reqChildDone, jc: jc})
+	} else {
+		// right was stolen (or picked up by an idle processor of ours).
+		// Check the join flag; if the child has not finished, park: the
+		// child's finisher will continue this kernel, possibly usurping.
+		c.Read(jc.addr)
+		if !jc.childDone {
+			c.request(request{kind: reqPark, jc: jc})
+		}
+	}
+	c.Node() // the join node's O(1) work
+	c.t.stack.Free(seg)
+}
+
+// ForkN runs body(0..k-1) as the leaves of a balanced binary fork tree, the
+// realization of a v(n)-ary fork prescribed after Definition 4.5. Each
+// internal node costs O(1) down and up.
+func (c *Ctx) ForkN(k int, body func(i int, c *Ctx)) {
+	c.ForkNHint(k, nil, body)
+}
+
+// ForkNHint is ForkN with a per-subrange stack hint: hint(lo, hi) returns the
+// stack words a thief should allocate to execute leaves [lo, hi). nil means
+// the engine default.
+func (c *Ctx) ForkNHint(k int, hint func(lo, hi int) int, body func(i int, c *Ctx)) {
+	if k <= 0 {
+		return
+	}
+	var rec func(lo, hi int, c *Ctx)
+	rec = func(lo, hi int, c *Ctx) {
+		if hi-lo == 1 {
+			body(lo, c)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		h := 0
+		if hint != nil {
+			h = hint(mid, hi)
+		}
+		c.ForkHint(h,
+			func(c *Ctx) { rec(lo, mid, c) },
+			func(c *Ctx) { rec(mid, hi, c) })
+	}
+	rec(0, k, c)
+}
+
+// SeqStep charges one O(1) node plus w ticks of work: convenience for
+// sequencing nodes that do a fixed amount of in-cache computation.
+func (c *Ctx) SeqStep(w machine.Tick) {
+	c.Node()
+	c.Work(w)
+}

@@ -1,0 +1,461 @@
+package rws
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rwsfs/internal/exec"
+	"rwsfs/internal/machine"
+)
+
+// Config configures one simulated run.
+type Config struct {
+	Machine machine.Params
+	// Seed drives the single RNG used for victim selection; runs are
+	// reproducible bit-for-bit given (Config, root function).
+	Seed int64
+	// StealBudget caps the number of successful steals; < 0 means unlimited.
+	// Several lemmas (3.1, 4.6, 4.7) bound costs as a function of the steal
+	// count S, so experiments sweep S directly via this knob.
+	StealBudget int64
+	// RootStackWords sizes the root task's execution stack (default 1<<16).
+	RootStackWords int
+	// DefaultStackWords sizes stolen tasks' stacks when the fork site gave no
+	// hint (default 4096).
+	DefaultStackWords int
+	// AuditStackBlocks enables the per-task block-delay audit of Lemmas
+	// 4.3/4.4: for every task, the maximum number of moves of any single
+	// block of its execution stack during its lifetime is recorded in
+	// Result.StackAudits.
+	AuditStackBlocks bool
+}
+
+// DefaultConfig returns a Config over machine.DefaultParams(p).
+func DefaultConfig(p int) Config {
+	return Config{
+		Machine:           machine.DefaultParams(p),
+		Seed:              1,
+		StealBudget:       -1,
+		RootStackWords:    1 << 16,
+		DefaultStackWords: 4096,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Params   machine.Params
+	Makespan machine.Tick
+	Totals   machine.ProcCounters
+	PerProc  []machine.ProcCounters
+
+	Steals       int64 // successful steals S
+	FailedSteals int64
+	Spawns       int64 // stealable tasks created
+	TasksStolen  int64 // == Steals
+	Usurpations  int64
+	// Every spawn is consumed exactly once; the three disjoint ways:
+	InlinePops int64 // owner popped its own spawn at the fork's join point
+	IdlePops   int64 // an idle processor drained its own queue bottom
+
+	BlockTransfersTotal int64 // Definition 4.1 moves, summed over blocks
+	BlockTransfersMax   int64 // max moves of any single block
+	MaxWriteCount       int64 // -1 unless Machine.TrackWrites
+
+	// StolenKernelSizes holds, per stolen task, the number of timed word
+	// accesses its kernel performed: a proxy for |τ| used by the Lemma 3.1
+	// experiments.
+	StolenKernelSizes []int64
+
+	RootStackPeak int64 // peak words on the root task's stack (space checks)
+	StacksCreated int   // fresh stack regions allocated
+	StacksReused  int   // regions recycled from the pool
+
+	// StackAudits holds the per-task Lemma 4.3/4.4 block-delay audit when
+	// Config.AuditStackBlocks was set.
+	StackAudits []StackAudit
+}
+
+// Engine runs fork-join computations under simulated RWS. Create with
+// NewEngine, populate simulated memory through Machine(), then call Run once.
+type Engine struct {
+	cfg  Config
+	mach *machine.Machine
+	pool *exec.Pool
+	rng  *rand.Rand
+
+	clock   []machine.Tick
+	running []*strand
+	deques  [][]*spawn
+
+	stealBudget int64
+	done        bool
+	finishTime  machine.Tick
+
+	taskSeq   int64
+	strandSeq int64
+	root      *Task
+	audit     *auditor
+
+	steals      int64
+	failed      int64
+	spawns      int64
+	inlinePops  int64
+	idlePops    int64
+	usurpations int64
+	stolenSizes []int64
+}
+
+// NewEngine builds the simulated machine for cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.RootStackWords <= 0 {
+		cfg.RootStackWords = 1 << 16
+	}
+	if cfg.DefaultStackWords <= 0 {
+		cfg.DefaultStackWords = 4096
+	}
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		mach:        m,
+		pool:        exec.NewPool(m.Alloc),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		clock:       make([]machine.Tick, cfg.Machine.P),
+		running:     make([]*strand, cfg.Machine.P),
+		deques:      make([][]*spawn, cfg.Machine.P),
+		stealBudget: cfg.StealBudget,
+	}
+	if cfg.AuditStackBlocks {
+		e.audit = newAuditor()
+		m.OnTransfer = e.audit.observe
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine but panics on error.
+func MustNewEngine(cfg Config) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Machine exposes the simulated machine, e.g. to allocate and initialize
+// input arrays before Run and to read outputs after it.
+func (e *Engine) Machine() *machine.Machine { return e.mach }
+
+// Run executes root as the original task under RWS and returns the metrics.
+// An Engine is single-use: Run may be called once.
+func (e *Engine) Run(rootFn func(*Ctx)) Result {
+	if e.root != nil {
+		panic("rws: Engine.Run called twice")
+	}
+	e.root = e.newTask(nil, e.cfg.RootStackWords, false)
+	st := e.newStrand(e.root, rootFn, nil)
+	e.running[0] = st
+	st.proc = 0
+
+	for !e.done {
+		p := e.minClockProc()
+		e.step(p)
+	}
+	e.drain()
+
+	return e.collect()
+}
+
+// drain retires strands that already reported their join completion but had
+// not yet sent their final reqFinish when the root finished. At that point
+// every join in the dag is complete, so the only possible pending request is
+// reqFinish; processing it releases stacks and ends the goroutines.
+func (e *Engine) drain() {
+	for spins := 0; ; spins++ {
+		if spins > len(e.running)+4 {
+			panic("rws: drain did not converge; strand left in unexpected state")
+		}
+		pending := false
+		for p, st := range e.running {
+			if st == nil {
+				continue
+			}
+			pending = true
+			st.resume <- wake{proc: p}
+			r := <-st.req
+			if r.kind != reqFinish {
+				panic(fmt.Sprintf("rws: unexpected post-completion request kind %d", r.kind))
+			}
+			e.handle(p, st, r)
+		}
+		if !pending {
+			return
+		}
+	}
+}
+
+func (e *Engine) minClockProc() int {
+	best := 0
+	for p := 1; p < len(e.clock); p++ {
+		if e.clock[p] < e.clock[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// step advances processor p by one action: resuming its strand until the
+// next timed request, or popping its own deque, or attempting one steal.
+func (e *Engine) step(p int) {
+	if st := e.running[p]; st != nil {
+		st.resume <- wake{proc: p}
+		r := <-st.req
+		e.handle(p, st, r)
+		return
+	}
+	// Idle: first serve own queue bottom (the paper's "retrieves the task
+	// from the bottom of its queue"), then turn thief.
+	if sp := e.popOwnBottom(p); sp != nil {
+		e.idlePops++
+		e.clock[p] += e.mach.CostNode
+		e.startSpawn(p, sp, false)
+		return
+	}
+	e.stealAttempt(p)
+}
+
+func (e *Engine) handle(p int, st *strand, r request) {
+	switch r.kind {
+	case reqWork:
+		e.clock[p] += r.work
+		e.mach.Proc[p].WorkTicks += r.work
+
+	case reqAccess:
+		st.task.accesses += int64(r.n)
+		delay := e.mach.AccessRange(p, r.addr, r.n, r.write, e.clock[p])
+		e.clock[p] += delay + r.work
+		e.mach.Proc[p].WorkTicks += r.work
+
+	case reqChildDone:
+		// The completion report: a timed write to the join flag on the
+		// parent task's stack, then the engine-visible mark. Doing both in
+		// one engine action keeps flag value and childDone consistent.
+		st.task.accesses++
+		delay := e.mach.AccessRange(p, r.jc.addr, 1, true, e.clock[p])
+		e.clock[p] += delay
+		r.jc.childDone = true
+
+	case reqPark:
+		if r.jc.parked != nil {
+			panic("rws: double park on one join")
+		}
+		r.jc.parked = st
+		e.running[p] = nil
+
+	case reqFinish:
+		e.running[p] = nil
+		st.task.liveStrands--
+		if r.jc == nil {
+			// Root strand finished: computation complete.
+			if st.task != e.root {
+				panic("rws: non-root strand finished without a join")
+			}
+			e.done = true
+			e.finishTime = e.clock[p]
+			return
+		}
+		if st.task.stolen && st.task.liveStrands == 0 {
+			e.stolenSizes = append(e.stolenSizes, st.task.accesses)
+			if e.audit != nil {
+				e.audit.finish(st.task)
+			}
+			e.pool.Put(st.task.stack)
+		}
+		if parked := r.jc.parked; parked != nil {
+			r.jc.parked = nil
+			if parked.proc != p {
+				e.usurpations++
+				e.mach.Proc[p].Usurpations++
+			}
+			parked.proc = p
+			e.running[p] = parked
+		}
+
+	case reqPanic:
+		panic(fmt.Sprintf("rws: algorithm panicked on processor %d: %v", p, r.pv))
+
+	default:
+		panic("rws: unknown request")
+	}
+}
+
+// stealAttempt performs one steal attempt by idle processor p.
+func (e *Engine) stealAttempt(p int) {
+	pc := &e.mach.Proc[p]
+	if e.mach.P == 1 {
+		// No victims exist; the lone processor can only be idle after the
+		// computation finished, so just let time pass defensively.
+		e.clock[p] += e.mach.CostFailSteal
+		return
+	}
+	// Victim uniform over the other p-1 processors.
+	v := e.rng.Intn(e.mach.P - 1)
+	if v >= p {
+		v++
+	}
+	if e.stealBudget != 0 {
+		if sp := e.popTop(v); sp != nil {
+			if e.stealBudget > 0 {
+				e.stealBudget--
+			}
+			e.clock[p] += e.mach.CostSteal
+			pc.StealsOK++
+			pc.StealTicks += e.mach.CostSteal
+			e.steals++
+			e.startSpawn(p, sp, true)
+			return
+		}
+	}
+	e.clock[p] += e.mach.CostFailSteal
+	pc.StealsFail++
+	pc.StealTicks += e.mach.CostFailSteal
+	e.failed++
+}
+
+// startSpawn begins executing spawn sp on processor p. If stolen, sp becomes
+// a fresh task with its own execution stack; otherwise it runs as a new
+// strand of its owning task's kernel.
+func (e *Engine) startSpawn(p int, sp *spawn, stolen bool) {
+	task := sp.task
+	if stolen {
+		hint := sp.stackHint
+		if hint <= 0 {
+			hint = e.cfg.DefaultStackWords
+		}
+		task = e.newTask(sp.task, hint, true)
+	}
+	st := e.newStrand(task, sp.fn, sp.jc)
+	st.proc = p
+	e.running[p] = st
+}
+
+func (e *Engine) newTask(parent *Task, stackWords int, stolen bool) *Task {
+	t := &Task{
+		id:     e.taskSeq,
+		stack:  e.pool.Get(stackWords),
+		parent: parent,
+		stolen: stolen,
+	}
+	e.taskSeq++
+	if e.audit != nil {
+		e.audit.register(t, e.mach.B)
+	}
+	return t
+}
+
+// newStrand launches the goroutine for fn; it waits for its first wake.
+func (e *Engine) newStrand(t *Task, fn func(*Ctx), jc *joinCell) *strand {
+	st := &strand{
+		id:     e.strandSeq,
+		task:   t,
+		req:    make(chan request),
+		resume: make(chan wake),
+	}
+	e.strandSeq++
+	t.liveStrands++
+	go func() {
+		w := <-st.resume
+		st.proc = w.proc
+		c := &Ctx{e: e, t: t, s: st, proc: w.proc}
+		defer func() {
+			if pv := recover(); pv != nil {
+				st.req <- request{kind: reqPanic, pv: pv}
+			}
+		}()
+		fn(c)
+		// After fn returns the whole subtree rooted at this strand has
+		// joined. Report completion on the parent's join flag (a timed write
+		// to the parent task's stack — the false-sharing channel), then
+		// finish.
+		if jc != nil {
+			c.request(request{kind: reqChildDone, jc: jc})
+		}
+		st.req <- request{kind: reqFinish, jc: jc}
+	}()
+	return st
+}
+
+// Deque operations. These are called both from the engine loop and directly
+// from strand goroutines; the strict engine<->strand handoff protocol means
+// only one of the two is ever active, so no locking is needed.
+
+func (e *Engine) pushBottom(p int, sp *spawn) {
+	e.deques[p] = append(e.deques[p], sp)
+	e.spawns++
+}
+
+// popBottomIf removes sp from the bottom of p's deque iff it is still there
+// (i.e. it was not stolen and not popped by the idle-path).
+func (e *Engine) popBottomIf(p int, sp *spawn) bool {
+	dq := e.deques[p]
+	if n := len(dq); n > 0 && dq[n-1] == sp {
+		e.deques[p] = dq[:n-1]
+		e.inlinePops++
+		return true
+	}
+	return false
+}
+
+func (e *Engine) popOwnBottom(p int) *spawn {
+	dq := e.deques[p]
+	if n := len(dq); n > 0 {
+		sp := dq[n-1]
+		e.deques[p] = dq[:n-1]
+		return sp
+	}
+	return nil
+}
+
+func (e *Engine) popTop(p int) *spawn {
+	dq := e.deques[p]
+	if len(dq) > 0 {
+		sp := dq[0]
+		copy(dq, dq[1:])
+		e.deques[p] = dq[:len(dq)-1]
+		return sp
+	}
+	return nil
+}
+
+func (e *Engine) collect() Result {
+	var audits []StackAudit
+	if e.audit != nil {
+		e.audit.finishAll()
+		audits = e.audit.results
+	}
+	total, maxPer := e.mach.BlockTransfers()
+	created, reused := e.pool.Stats()
+	res := Result{
+		Params:              e.mach.Params,
+		Makespan:            e.finishTime,
+		Totals:              e.mach.Totals(),
+		PerProc:             append([]machine.ProcCounters(nil), e.mach.Proc...),
+		Steals:              e.steals,
+		FailedSteals:        e.failed,
+		Spawns:              e.spawns,
+		TasksStolen:         e.steals,
+		Usurpations:         e.usurpations,
+		InlinePops:          e.inlinePops,
+		IdlePops:            e.idlePops,
+		BlockTransfersTotal: total,
+		BlockTransfersMax:   maxPer,
+		MaxWriteCount:       e.mach.MaxWriteCount(),
+		StolenKernelSizes:   e.stolenSizes,
+		RootStackPeak:       int64(e.root.stack.Peak()),
+		StacksCreated:       created,
+		StacksReused:        reused,
+		StackAudits:         audits,
+	}
+	return res
+}

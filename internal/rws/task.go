@@ -1,0 +1,105 @@
+// Package rws implements the randomized work-stealing scheduler of Section 2
+// of the paper on top of the simulated machine.
+//
+// Computations are written in Cilk-like fork-join style against Ctx. The
+// scheduling rules are exactly the paper's: each processor keeps a work
+// queue; a newly forked (stealable) task is pushed at the bottom; the owner
+// retrieves tasks from the bottom; an idle processor picks a victim uniformly
+// at random among the other processors and steals from the *top* of its
+// queue; failed steals cost O(s) and are retried. Joins follow the protocol
+// of Section 4.2: the last of the two sides to finish continues the parent
+// computation, which may move the parent task's execution to a different
+// processor (a "usurpation").
+//
+// Tasks-as-stolen-units own execution stacks (package exec): the original
+// task and every stolen task get their own stack S_τ (Section 4); the join
+// flag ("hidden variable for reporting the completion of a subtask") lives in
+// a segment of the parent's stack, so a thief's completion write really does
+// invalidate the parent's cached block — the false-sharing channel the paper
+// analyzes.
+package rws
+
+import (
+	"rwsfs/internal/exec"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+)
+
+// Task is a stolen-unit of computation (the original task or a stolen
+// subtask): the owner of one execution stack S_τ.
+type Task struct {
+	id     int64
+	stack  *exec.Stack
+	parent *Task // nil for the root task
+	stolen bool
+	// accesses counts timed word accesses made by strands of this task's
+	// kernel; a within-constant-factor proxy for the paper's task size |τ|
+	// (Definition 2.1) for limited-access algorithms.
+	accesses int64
+	// strands still running or parked that belong to this task's kernel.
+	liveStrands int
+}
+
+// ID returns the task's unique id (0 is the root task).
+func (t *Task) ID() int64 { return t.id }
+
+// Stolen reports whether the task was created by a steal.
+func (t *Task) Stolen() bool { return t.stolen }
+
+// joinCell is the engine-side state of one fork's join, paired with a
+// one-word flag on the parent's execution stack at addr.
+type joinCell struct {
+	addr      mem.Addr
+	childDone bool    // set when the spawned (right) side completed
+	parked    *strand // continuation waiting for childDone, if any
+}
+
+// spawn is a deque entry: the stealable right child of a fork.
+type spawn struct {
+	fn        func(*Ctx)
+	task      *Task // task whose kernel forked it
+	jc        *joinCell
+	stackHint int // words of stack a thief should give the stolen task
+}
+
+// reqKind enumerates the timed operations a strand asks the engine to
+// perform. Untimed bookkeeping (deque pushes/pops, stack segment allocation,
+// raw value access) is done by direct call while the strand holds control.
+type reqKind uint8
+
+const (
+	reqWork      reqKind = iota // charge work ticks
+	reqAccess                   // timed memory access (word or range)
+	reqChildDone                // timed write of a join flag + mark child done
+	reqPark                     // block until a join's childDone resumes us
+	reqFinish                   // strand completed (optionally reporting a join)
+	reqPanic                    // algorithm code panicked; re-raise in engine
+)
+
+// request travels strand -> engine; the engine replies by a wake message.
+type request struct {
+	kind  reqKind
+	work  machine.Tick
+	addr  mem.Addr
+	n     int
+	write bool
+	jc    *joinCell
+	pv    any // panic value for reqPanic
+}
+
+// wake travels engine -> strand and tells the strand which processor it is
+// now executing on (it changes across park/resume).
+type wake struct {
+	proc int
+}
+
+// strand is one schedulable thread of control: a goroutine executing part of
+// a task's kernel. A task has one strand when created; additional strands
+// appear when the owner's processor pops a pending spawn of a parked task.
+type strand struct {
+	id     int64
+	task   *Task
+	req    chan request
+	resume chan wake
+	proc   int // processor currently (or last) executing this strand
+}
