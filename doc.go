@@ -15,6 +15,31 @@
 //   - cmd/rwsim, cmd/experiments: command-line front ends
 //   - examples/: runnable walkthroughs
 //
+// # Simulator hot path
+//
+// Every timed access of every experiment funnels through
+// machine.Machine.Access and the rws engine step loop, so those layers are
+// engineered for allocation-free, cache-friendly steady state:
+//
+//   - internal/cache is an intrusive array-backed LRU: recency links are
+//     prev/next indices in a flat node slice and the block→node index is a
+//     paged dense array, exploiting that mem.Allocator bump-allocates block
+//     IDs densely from zero.
+//   - internal/machine keeps coherence state in a per-block directory
+//     (sharer and lost bitsets, busy-until tick, transfer count) so a
+//     write's invalidation broadcast walks only actual sharers instead of
+//     scanning all P caches.
+//   - internal/rws picks the next processor with an indexed min-heap over
+//     processor clocks (O(log P) per step, tie-broken by processor ID to
+//     keep scheduling bit-for-bit deterministic) and stores deques in
+//     head/tail ring buffers so steals are O(1).
+//
+// Semantics are pinned by differential tests against the straightforward
+// reference implementations (container/list LRU, map-based coherence) and
+// by golden determinism tests: same Config.Seed, same Result, before and
+// after the rewrite. scripts/bench.sh records the trajectory in
+// BENCH_rws.json.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for recorded results.
 package rwsfs

@@ -1,0 +1,3 @@
+module rwsfs
+
+go 1.24

@@ -5,20 +5,46 @@
 // mem.Memory); the machine layer on top of it decides coherence actions and
 // classifies misses. Fully-associative LRU matches the ideal-cache model the
 // paper's sequential cache-complexity bounds (Q) assume.
+//
+// The implementation is an intrusive array-backed LRU built for the
+// simulator's hot path: recency links are prev/next indices into a flat node
+// slice (one circular list threaded through a sentinel), and the block→node
+// index is a paged dense array rather than a hash map. Block IDs come from
+// mem.Allocator, a bump allocator, so they are dense from zero: a paged
+// array indexed by BlockID resolves a lookup with two loads and no hashing,
+// and pages materialize lazily so sparse residency (a cache that only ever
+// holds a task's stack blocks) stays cheap. Steady-state Touch/Insert/Remove
+// perform zero heap allocations.
 package cache
 
 import (
-	"container/list"
 	"fmt"
 
 	"rwsfs/internal/mem"
 )
 
+// idxPageShift sets the dense-index page size: 2^idxPageShift block IDs per
+// page (512 entries = 2 KiB per materialized page).
+const idxPageShift = 9
+
+const idxPageLen = 1 << idxPageShift
+
+// node is one LRU list entry. Index 0 is the sentinel of the circular
+// recency list (next = MRU, prev = LRU); indices 1..capacity are blocks.
+// Free nodes are chained through next.
+type node struct {
+	prev, next int32
+	bid        mem.BlockID
+}
+
 // Cache is a fully-associative LRU cache over block identities.
 type Cache struct {
 	capacity int
-	ll       *list.List // front = most recently used; values are mem.BlockID
-	index    map[mem.BlockID]*list.Element
+	size     int
+	nodes    []node // len capacity+1; nodes[0] is the sentinel
+	free     int32  // head of the free-node chain; 0 when exhausted
+	// index maps BlockID → node index + paged lazily; entry 0 means absent.
+	index [][]int32
 }
 
 // New returns a cache holding at most capacity blocks.
@@ -26,32 +52,96 @@ func New(capacity int) *Cache {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("cache: capacity %d", capacity))
 	}
-	return &Cache{
+	c := &Cache{
 		capacity: capacity,
-		ll:       list.New(),
-		index:    make(map[mem.BlockID]*list.Element, capacity),
+		nodes:    make([]node, capacity+1),
 	}
+	c.reset()
+	return c
+}
+
+// reset empties the recency list and rebuilds the free chain 1→2→…→capacity.
+func (c *Cache) reset() {
+	c.nodes[0].prev, c.nodes[0].next = 0, 0
+	for i := 1; i <= c.capacity; i++ {
+		c.nodes[i].next = int32(i) + 1
+	}
+	c.nodes[c.capacity].next = 0
+	c.free = 1
+	c.size = 0
+}
+
+// lookup returns the node index of b, or 0 if b is not resident.
+func (c *Cache) lookup(b mem.BlockID) int32 {
+	pg := uint64(b) >> idxPageShift
+	if pg >= uint64(len(c.index)) || c.index[pg] == nil {
+		return 0
+	}
+	return c.index[pg][uint64(b)&(idxPageLen-1)]
+}
+
+// slot returns the index cell for b, materializing its page.
+func (c *Cache) slot(b mem.BlockID) *int32 {
+	pg := uint64(b) >> idxPageShift
+	if pg >= uint64(len(c.index)) {
+		grown := make([][]int32, pg+1)
+		copy(grown, c.index)
+		c.index = grown
+	}
+	if c.index[pg] == nil {
+		c.index[pg] = make([]int32, idxPageLen)
+	}
+	return &c.index[pg][uint64(b)&(idxPageLen-1)]
+}
+
+// moveToFront relinks node n as most-recently-used.
+func (c *Cache) moveToFront(n int32) {
+	nd := &c.nodes[n]
+	if c.nodes[0].next == n {
+		return
+	}
+	// Unlink.
+	c.nodes[nd.prev].next = nd.next
+	c.nodes[nd.next].prev = nd.prev
+	// Relink after the sentinel.
+	first := c.nodes[0].next
+	nd.prev, nd.next = 0, first
+	c.nodes[first].prev = n
+	c.nodes[0].next = n
+}
+
+// pushFront links a detached node n as most-recently-used.
+func (c *Cache) pushFront(n int32) {
+	first := c.nodes[0].next
+	nd := &c.nodes[n]
+	nd.prev, nd.next = 0, first
+	c.nodes[first].prev = n
+	c.nodes[0].next = n
+}
+
+// unlink detaches node n from the recency list.
+func (c *Cache) unlink(n int32) {
+	nd := &c.nodes[n]
+	c.nodes[nd.prev].next = nd.next
+	c.nodes[nd.next].prev = nd.prev
 }
 
 // Capacity reports the maximum number of resident blocks (M/B).
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len reports the current number of resident blocks.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache) Len() int { return c.size }
 
 // Contains reports whether block b is resident.
-func (c *Cache) Contains(b mem.BlockID) bool {
-	_, ok := c.index[b]
-	return ok
-}
+func (c *Cache) Contains(b mem.BlockID) bool { return c.lookup(b) != 0 }
 
 // Touch marks block b most-recently-used. It reports whether b was resident.
 func (c *Cache) Touch(b mem.BlockID) bool {
-	e, ok := c.index[b]
-	if !ok {
+	n := c.lookup(b)
+	if n == 0 {
 		return false
 	}
-	c.ll.MoveToFront(e)
+	c.moveToFront(n)
 	return true
 }
 
@@ -59,46 +149,57 @@ func (c *Cache) Touch(b mem.BlockID) bool {
 // full, the least-recently-used block is evicted and returned with
 // evicted=true. Inserting an already-resident block just touches it.
 func (c *Cache) Insert(b mem.BlockID) (victim mem.BlockID, evicted bool) {
-	if e, ok := c.index[b]; ok {
-		c.ll.MoveToFront(e)
+	if n := c.lookup(b); n != 0 {
+		c.moveToFront(n)
 		return 0, false
 	}
-	if c.ll.Len() >= c.capacity {
-		back := c.ll.Back()
-		victim = back.Value.(mem.BlockID)
-		c.ll.Remove(back)
-		delete(c.index, victim)
+	var n int32
+	if c.size >= c.capacity {
+		// Reuse the LRU node in place: unlink it, clear its index entry.
+		n = c.nodes[0].prev
+		victim = c.nodes[n].bid
+		c.unlink(n)
+		*c.slot(victim) = 0
 		evicted = true
+	} else {
+		n = c.free
+		c.free = c.nodes[n].next
+		c.size++
 	}
-	c.index[b] = c.ll.PushFront(b)
+	c.nodes[n].bid = b
+	c.pushFront(n)
+	*c.slot(b) = n
 	return victim, evicted
 }
 
 // Remove drops block b (an invalidation). It reports whether b was resident.
 func (c *Cache) Remove(b mem.BlockID) bool {
-	e, ok := c.index[b]
-	if !ok {
+	n := c.lookup(b)
+	if n == 0 {
 		return false
 	}
-	c.ll.Remove(e)
-	delete(c.index, b)
+	c.unlink(n)
+	*c.slot(b) = 0
+	c.nodes[n].next = c.free
+	c.free = n
+	c.size--
 	return true
 }
 
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	c.ll.Init()
-	for k := range c.index {
-		delete(c.index, k)
+	for n := c.nodes[0].next; n != 0; n = c.nodes[n].next {
+		*c.slot(c.nodes[n].bid) = 0
 	}
+	c.reset()
 }
 
 // Resident returns the resident blocks in MRU-to-LRU order. Intended for
 // tests and debugging.
 func (c *Cache) Resident() []mem.BlockID {
-	out := make([]mem.BlockID, 0, c.ll.Len())
-	for e := c.ll.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(mem.BlockID))
+	out := make([]mem.BlockID, 0, c.size)
+	for n := c.nodes[0].next; n != 0; n = c.nodes[n].next {
+		out = append(out, c.nodes[n].bid)
 	}
 	return out
 }

@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+
+	"rwsfs/internal/mem"
+)
+
+// refLRU is the pre-refactor reference implementation (container/list + map),
+// kept verbatim as the behavioral oracle for the intrusive array-backed LRU.
+type refLRU struct {
+	capacity int
+	ll       *list.List
+	index    map[mem.BlockID]*list.Element
+}
+
+func newRefLRU(capacity int) *refLRU {
+	return &refLRU{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[mem.BlockID]*list.Element, capacity),
+	}
+}
+
+func (c *refLRU) Len() int { return c.ll.Len() }
+
+func (c *refLRU) Contains(b mem.BlockID) bool {
+	_, ok := c.index[b]
+	return ok
+}
+
+func (c *refLRU) Touch(b mem.BlockID) bool {
+	e, ok := c.index[b]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(e)
+	return true
+}
+
+func (c *refLRU) Insert(b mem.BlockID) (victim mem.BlockID, evicted bool) {
+	if e, ok := c.index[b]; ok {
+		c.ll.MoveToFront(e)
+		return 0, false
+	}
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		victim = back.Value.(mem.BlockID)
+		c.ll.Remove(back)
+		delete(c.index, victim)
+		evicted = true
+	}
+	c.index[b] = c.ll.PushFront(b)
+	return victim, evicted
+}
+
+func (c *refLRU) Remove(b mem.BlockID) bool {
+	e, ok := c.index[b]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(e)
+	delete(c.index, b)
+	return true
+}
+
+func (c *refLRU) Flush() {
+	c.ll.Init()
+	for k := range c.index {
+		delete(c.index, k)
+	}
+}
+
+func (c *refLRU) Resident() []mem.BlockID {
+	out := make([]mem.BlockID, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(mem.BlockID))
+	}
+	return out
+}
+
+func sameResident(t *testing.T, step int, got, want []mem.BlockID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: resident length %d, reference %d\n got %v\nwant %v",
+			step, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: resident[%d] = %d, reference %d\n got %v\nwant %v",
+				step, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestLRUDifferential drives the intrusive LRU and the container/list
+// reference through the same long randomized operation stream and requires
+// identical observable behavior at every step: return values, membership,
+// length, and full MRU→LRU order.
+func TestLRUDifferential(t *testing.T) {
+	const ops = 20_000
+	for _, capacity := range []int{1, 2, 7, 64, 256} {
+		capacity := capacity
+		rng := rand.New(rand.NewSource(int64(100 + capacity)))
+		got := New(capacity)
+		want := newRefLRU(capacity)
+		// Block universe ~3x capacity so inserts regularly evict, with a
+		// sparse far tail exercising paged-index growth.
+		universe := 3*capacity + 2
+		randBlock := func() mem.BlockID {
+			if rng.Intn(16) == 0 {
+				return mem.BlockID(1_000_000 + rng.Intn(universe))
+			}
+			return mem.BlockID(rng.Intn(universe))
+		}
+		for i := 0; i < ops; i++ {
+			b := randBlock()
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				if g, w := got.Touch(b), want.Touch(b); g != w {
+					t.Fatalf("cap %d step %d: Touch(%d) = %v, reference %v", capacity, i, b, g, w)
+				}
+			case 3, 4, 5, 6:
+				gv, ge := got.Insert(b)
+				wv, we := want.Insert(b)
+				if gv != wv || ge != we {
+					t.Fatalf("cap %d step %d: Insert(%d) = (%d, %v), reference (%d, %v)",
+						capacity, i, b, gv, ge, wv, we)
+				}
+			case 7, 8:
+				if g, w := got.Remove(b), want.Remove(b); g != w {
+					t.Fatalf("cap %d step %d: Remove(%d) = %v, reference %v", capacity, i, b, g, w)
+				}
+			case 9:
+				if g, w := got.Contains(b), want.Contains(b); g != w {
+					t.Fatalf("cap %d step %d: Contains(%d) = %v, reference %v", capacity, i, b, g, w)
+				}
+				if rng.Intn(200) == 0 {
+					got.Flush()
+					want.Flush()
+				}
+			}
+			if got.Len() != want.Len() {
+				t.Fatalf("cap %d step %d: Len = %d, reference %d", capacity, i, got.Len(), want.Len())
+			}
+			if i%257 == 0 || i == ops-1 {
+				sameResident(t, i, got.Resident(), want.Resident())
+			}
+		}
+	}
+}
+
+// TestLRUNoSteadyStateAllocs verifies the point of the intrusive rewrite:
+// once the index pages for the working set exist, Touch/Insert/Remove do not
+// allocate.
+func TestLRUNoSteadyStateAllocs(t *testing.T) {
+	c := New(32)
+	for b := 0; b < 96; b++ {
+		c.Insert(mem.BlockID(b))
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Insert(mem.BlockID(17))
+		c.Touch(mem.BlockID(17))
+		c.Insert(mem.BlockID(95))
+		c.Remove(mem.BlockID(95))
+		c.Insert(mem.BlockID(95))
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ops allocate %v times per run, want 0", avg)
+	}
+}

@@ -612,6 +612,7 @@ func E14(s Scale) Table {
 			fmt.Sprintf("%.2fx", best.Slowdown))
 	}
 	if len(slowdowns) == 0 {
+		t.AddRow(fmtI(int64(runtime.GOMAXPROCS(0))), fmtI(int64(iters)), "skipped", "skipped", "-")
 		t.Checked("host too small for the experiment", true, "skipped: single-core host")
 		return t
 	}

@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"rwsfs/internal/mem"
+)
+
+// benchTrace builds a deterministic pseudo-random access trace: traceLen
+// (processor, address, write) triples over a working set several times the
+// aggregate cache capacity, so steady state mixes hits, capacity misses and
+// invalidation misses.
+const benchTraceLen = 1 << 12
+
+type benchOp struct {
+	p     int
+	a     mem.Addr
+	write bool
+}
+
+func benchTrace(m *Machine, spanWords int) []benchOp {
+	base := m.Alloc.Alloc(spanWords)
+	trace := make([]benchOp, benchTraceLen)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range trace {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		trace[i] = benchOp{
+			p:     int(s % uint64(m.P)),
+			a:     base + mem.Addr((s>>8)%uint64(spanWords)),
+			write: s&0xc0 == 0, // ~25% writes
+		}
+	}
+	return trace
+}
+
+// BenchmarkAccessBlock measures the coherence core — Machine.Access /
+// accessBlock — under a mixed hit/miss/invalidate trace. This is the hottest
+// function of the whole simulator: every timed word access of every
+// experiment funnels through it.
+func BenchmarkAccessBlock(b *testing.B) {
+	pr := DefaultParams(8)
+	m := MustNew(pr)
+	// 4096 blocks at B=16: 16x one cache's 256-line capacity.
+	trace := benchTrace(m, 1<<16)
+	// Warm up one full pass so the steady state (directory entries populated,
+	// caches full) is what gets measured.
+	now := Tick(0)
+	for i := range trace {
+		t := &trace[i]
+		now += 1 + m.Access(t.p, t.a, t.write, now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := &trace[i&(benchTraceLen-1)]
+		now += 1 + m.Access(t.p, t.a, t.write, now)
+	}
+}
+
+// BenchmarkAccessBlockHit isolates the pure hit path: a working set that
+// fits in cache, no writes, so every access after warmup is an LRU touch.
+func BenchmarkAccessBlockHit(b *testing.B) {
+	pr := DefaultParams(4)
+	m := MustNew(pr)
+	span := pr.M / 2 // half of one cache
+	base := m.Alloc.Alloc(span)
+	for a := 0; a < span; a++ {
+		m.Access(0, base+mem.Addr(a), false, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(0, base+mem.Addr(i%span), false, 0)
+	}
+}
+
+// BenchmarkInvalidateOthers measures the write-upgrade broadcast: one block
+// resident in every cache, written round-robin so each write invalidates
+// P-1 remote copies and each read re-fetches.
+func BenchmarkInvalidateOthers(b *testing.B) {
+	pr := DefaultParams(16)
+	m := MustNew(pr)
+	base := m.Alloc.Alloc(pr.B)
+	for p := 0; p < pr.P; p++ {
+		m.Access(p, base, false, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := i % pr.P
+		m.Access(p, base, i&1 == 0, Tick(i))
+	}
+}

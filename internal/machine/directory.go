@@ -1,0 +1,114 @@
+package machine
+
+import "rwsfs/internal/mem"
+
+// The block directory is the machine's per-block coherence record. For each
+// block it holds:
+//
+//   - a sharer bitset: bit p set ⟺ the block is resident in processor p's
+//     cache (kept in lockstep with the cache.Cache residency sets);
+//   - a lost bitset: bit p set ⟺ processor p's copy was invalidated by a
+//     remote write and not since re-fetched — the pending block misses;
+//   - busyUntil: the tick until which the block's fetch channel is occupied
+//     (FIFO arbitration serialization);
+//   - transfers: how many times the block was fetched into some cache,
+//     Definition 4.1's per-block move count.
+//
+// Block IDs come from mem.Allocator, a bump allocator, so they are dense
+// from zero: the directory is a paged dense array (no hashing), with pages
+// materialized lazily on first touch. All steady-state operations are
+// allocation-free, and a write's invalidation broadcast walks only the
+// actual sharer bits instead of scanning all P caches.
+const dirPageShift = 9
+
+const dirPageLen = 1 << dirPageShift
+
+// dirPage holds the records of dirPageLen consecutive blocks. The two
+// bitsets are stored flat: entry i's words are bits[i*stride : i*stride+w]
+// (sharers) and bits[i*stride+w : i*stride+2w] (lost), with stride = 2w.
+type dirPage struct {
+	busyUntil []Tick
+	transfers []int64
+	bits      []uint64
+}
+
+// directory is the paged per-block coherence directory.
+type directory struct {
+	w     int // uint64 words per bitset: ceil(P/64)
+	pages []*dirPage
+}
+
+func newDirectory(p int) *directory {
+	return &directory{w: (p + 63) / 64}
+}
+
+// dirRef is a resolved handle on one block's record.
+type dirRef struct {
+	pg *dirPage
+	i  int // entry index within the page
+	w  int
+}
+
+// entry resolves bid, materializing its page.
+func (d *directory) entry(bid mem.BlockID) dirRef {
+	pg := uint64(bid) >> dirPageShift
+	if pg >= uint64(len(d.pages)) {
+		grown := make([]*dirPage, pg+1)
+		copy(grown, d.pages)
+		d.pages = grown
+	}
+	page := d.pages[pg]
+	if page == nil {
+		page = &dirPage{
+			busyUntil: make([]Tick, dirPageLen),
+			transfers: make([]int64, dirPageLen),
+			bits:      make([]uint64, dirPageLen*2*d.w),
+		}
+		d.pages[pg] = page
+	}
+	return dirRef{pg: page, i: int(uint64(bid) & (dirPageLen - 1)), w: d.w}
+}
+
+// peek resolves bid without materializing; pg is nil if the block was never
+// recorded.
+func (d *directory) peek(bid mem.BlockID) dirRef {
+	pg := uint64(bid) >> dirPageShift
+	if pg >= uint64(len(d.pages)) || d.pages[pg] == nil {
+		return dirRef{}
+	}
+	return dirRef{pg: d.pages[pg], i: int(uint64(bid) & (dirPageLen - 1)), w: d.w}
+}
+
+func (r dirRef) sharers() []uint64 { return r.pg.bits[r.i*2*r.w : r.i*2*r.w+r.w : r.i*2*r.w+r.w] }
+func (r dirRef) lost() []uint64    { return r.pg.bits[r.i*2*r.w+r.w : (r.i+1)*2*r.w] }
+
+func (r dirRef) setSharer(p int)   { r.sharers()[p>>6] |= 1 << (uint(p) & 63) }
+func (r dirRef) clearSharer(p int) { r.sharers()[p>>6] &^= 1 << (uint(p) & 63) }
+
+func (r dirRef) lostHas(p int) bool { return r.lost()[p>>6]&(1<<(uint(p)&63)) != 0 }
+func (r dirRef) clearLost(p int)    { r.lost()[p>>6] &^= 1 << (uint(p) & 63) }
+
+// clearSharerOf clears p's sharer bit for bid if the block has a record.
+// Used on natural eviction, where the record always exists (the victim was
+// fetched at least once).
+func (d *directory) clearSharerOf(bid mem.BlockID, p int) {
+	if r := d.peek(bid); r.pg != nil {
+		r.clearSharer(p)
+	}
+}
+
+// forEachTransferred calls fn(bid, n) for every block with a nonzero
+// transfer count, in increasing block order.
+func (d *directory) forEachTransferred(fn func(bid mem.BlockID, n int64)) {
+	for pgi, page := range d.pages {
+		if page == nil {
+			continue
+		}
+		base := mem.BlockID(pgi << dirPageShift)
+		for i, n := range page.transfers {
+			if n != 0 {
+				fn(base+mem.BlockID(i), n)
+			}
+		}
+	}
+}

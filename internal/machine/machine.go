@@ -8,10 +8,24 @@
 // cost b; contended blocks additionally serialize, so x near-simultaneous
 // accesses to one block can delay a processor by Θ(x·b) — the unbounded block
 // delay the paper's algorithmic restrictions exist to control.
+//
+// # Coherence representation
+//
+// Coherence state lives in a per-block *directory* (see directory.go) rather
+// than per-processor maps: each block record carries a sharer bitset (which
+// caches hold a copy), a lost bitset (which processors have a pending
+// invalidation-induced miss), the FIFO-arbitration busy-until tick, and the
+// Definition 4.1 transfer count. Because mem.Allocator hands out addresses
+// with a bump pointer, block IDs are dense integers from zero, so the
+// directory is a lazily-materialized paged dense array — two loads per
+// lookup, no hashing, no steady-state allocation. A write's invalidation
+// broadcast iterates the sharer bitset, making it O(actual sharers) instead
+// of an O(P) scan over every cache.
 package machine
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"rwsfs/internal/cache"
@@ -108,14 +122,11 @@ type Machine struct {
 	Alloc *mem.Allocator
 
 	caches []*cache.Cache
-	// invalidated[p] holds blocks processor p lost to a remote write and has
-	// not since re-fetched or naturally evicted: the pending block misses.
-	invalidated []map[mem.BlockID]struct{}
-	// busyUntil serializes fetches of a contended block (FIFO arbitration).
-	busyUntil map[mem.BlockID]Tick
-	// transfers counts, per block, how many times it was fetched into some
-	// cache: Definition 4.1's block-delay measure m for the whole run.
-	transfers map[mem.BlockID]int64
+	// dir is the per-block coherence directory: sharer/lost bitsets,
+	// busy-until ticks and transfer counts, in paged dense arrays. The sharer
+	// bits are kept in lockstep with cache residency: bit p of block b is set
+	// iff caches[p].Contains(b).
+	dir *directory
 
 	Proc []ProcCounters
 
@@ -135,18 +146,15 @@ func New(pr Params) (*Machine, error) {
 	}
 	memory := mem.New(pr.B)
 	m := &Machine{
-		Params:      pr,
-		Mem:         memory,
-		Alloc:       mem.NewAllocator(memory),
-		caches:      make([]*cache.Cache, pr.P),
-		invalidated: make([]map[mem.BlockID]struct{}, pr.P),
-		busyUntil:   make(map[mem.BlockID]Tick),
-		transfers:   make(map[mem.BlockID]int64),
-		Proc:        make([]ProcCounters, pr.P),
+		Params: pr,
+		Mem:    memory,
+		Alloc:  mem.NewAllocator(memory),
+		caches: make([]*cache.Cache, pr.P),
+		dir:    newDirectory(pr.P),
+		Proc:   make([]ProcCounters, pr.P),
 	}
 	for i := range m.caches {
 		m.caches[i] = cache.New(pr.M / pr.B)
-		m.invalidated[i] = make(map[mem.BlockID]struct{})
 	}
 	if pr.TrackWrites {
 		m.writeCounts = make(map[mem.Addr]int64)
@@ -204,7 +212,6 @@ func (m *Machine) AccessRange(p int, a mem.Addr, n int, write bool, now Tick) Ti
 // accessBlock is the coherence core: one processor touches one block.
 func (m *Machine) accessBlock(p int, bid mem.BlockID, write bool, now Tick) Tick {
 	c := &m.Proc[p]
-	var delay Tick
 	if m.caches[p].Touch(bid) {
 		// Hit. A write still invalidates remote copies (upgrade).
 		if write {
@@ -212,50 +219,66 @@ func (m *Machine) accessBlock(p int, bid mem.BlockID, write bool, now Tick) Tick
 		}
 		return 0
 	}
-	// Miss: classify.
-	if _, lost := m.invalidated[p][bid]; lost {
+	// Miss: classify against the lost bitset (pending invalidation marker).
+	r := m.dir.entry(bid)
+	if r.lostHas(p) {
 		c.BlockMisses++
-		delete(m.invalidated[p], bid)
+		r.clearLost(p)
 	} else {
 		c.CacheMisses++
 	}
 	// Fetch, with per-block serialization under FIFO arbitration.
 	start := now
 	if m.Arbitration == ArbitrationFIFO {
-		if bu, ok := m.busyUntil[bid]; ok && bu > start {
+		if bu := r.pg.busyUntil[r.i]; bu > start {
 			c.BlockWait += bu - start
 			start = bu
 		}
-		m.busyUntil[bid] = start + m.CostMiss
+		r.pg.busyUntil[r.i] = start + m.CostMiss
 	}
 	c.MissStall += m.CostMiss
-	delay = (start - now) + m.CostMiss
-	m.transfers[bid]++
+	delay := (start - now) + m.CostMiss
+	r.pg.transfers[r.i]++
 	if m.OnTransfer != nil {
 		m.OnTransfer(bid)
 	}
-	if _, ev := m.caches[p].Insert(bid); ev {
-		// Natural eviction: any pending invalidation marker for the victim
-		// stays irrelevant because markers only exist for non-resident
-		// blocks; nothing to do.
-		_ = ev
+	if victim, ev := m.caches[p].Insert(bid); ev {
+		// Natural eviction drops p from the victim's sharer set; no lost
+		// marker, so the victim's next access by p is a plain cache miss.
+		m.dir.clearSharerOf(victim, p)
 	}
+	r.setSharer(p)
 	if write {
 		m.invalidateOthers(p, bid)
 	}
 	return delay
 }
 
+// invalidateOthers removes every remote copy of bid after a write by p,
+// walking the sharer bitset so the cost is O(actual sharers), not O(P).
+// Each victim gains a lost-bit (its next access is a block miss).
 func (m *Machine) invalidateOthers(p int, bid mem.BlockID) {
-	for q := 0; q < m.P; q++ {
-		if q == p {
+	r := m.dir.entry(bid)
+	sh := r.sharers()
+	lost := r.lost()
+	sent := int64(0)
+	for wi, word := range sh {
+		if wi == p>>6 {
+			word &^= 1 << (uint(p) & 63)
+		}
+		if word == 0 {
 			continue
 		}
-		if m.caches[q].Remove(bid) {
-			m.invalidated[q][bid] = struct{}{}
-			m.Proc[p].InvalidationsSent++
+		lost[wi] |= word
+		sh[wi] &^= word
+		for word != 0 {
+			q := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m.caches[q].Remove(bid)
+			sent++
 		}
 	}
+	m.Proc[p].InvalidationsSent += sent
 }
 
 // Cache exposes processor p's cache for tests.
@@ -286,31 +309,39 @@ func (m *Machine) Totals() ProcCounters {
 // moves) and the maximum over any single block. The per-block maximum is the
 // quantity Lemmas 4.3/4.4 bound by O(min{B, ht}) resp. Y(|τ|, B).
 func (m *Machine) BlockTransfers() (total int64, maxPerBlock int64) {
-	for _, n := range m.transfers {
+	m.dir.forEachTransferred(func(_ mem.BlockID, n int64) {
 		total += n
 		if n > maxPerBlock {
 			maxPerBlock = n
 		}
-	}
+	})
 	return total, maxPerBlock
 }
 
 // TransfersOf reports the fetch count of the block containing a.
-func (m *Machine) TransfersOf(a mem.Addr) int64 { return m.transfers[m.Mem.Block(a)] }
+func (m *Machine) TransfersOf(a mem.Addr) int64 {
+	r := m.dir.peek(m.Mem.Block(a))
+	if r.pg == nil {
+		return 0
+	}
+	return r.pg.transfers[r.i]
+}
 
 // HotBlocks returns the k most-transferred blocks in decreasing order.
 func (m *Machine) HotBlocks(k int) []struct {
 	Block mem.BlockID
 	Moves int64
 } {
-	type bt struct {
+	all := make([]struct {
 		Block mem.BlockID
 		Moves int64
-	}
-	all := make([]bt, 0, len(m.transfers))
-	for b, n := range m.transfers {
-		all = append(all, bt{b, n})
-	}
+	}, 0, 64)
+	m.dir.forEachTransferred(func(b mem.BlockID, n int64) {
+		all = append(all, struct {
+			Block mem.BlockID
+			Moves int64
+		}{b, n})
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Moves != all[j].Moves {
 			return all[i].Moves > all[j].Moves
@@ -320,16 +351,12 @@ func (m *Machine) HotBlocks(k int) []struct {
 	if k > len(all) {
 		k = len(all)
 	}
+	// Copy the top k out so the full sorted slice is collectable.
 	out := make([]struct {
 		Block mem.BlockID
 		Moves int64
 	}, k)
-	for i := 0; i < k; i++ {
-		out[i] = struct {
-			Block mem.BlockID
-			Moves int64
-		}{all[i].Block, all[i].Moves}
-	}
+	copy(out, all[:k])
 	return out
 }
 

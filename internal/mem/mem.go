@@ -118,6 +118,14 @@ func (m *Memory) TouchedPages() int { return len(m.pages) }
 // whenever a processor requests space it is allocated in block-sized units,
 // allocations to different requests are disjoint, and no block is shared
 // between two allocations.
+//
+// The allocator is a bump allocator, which makes BlockIDs *dense*: every
+// block a simulation can touch lies in [0, Reserved()/B], with no holes
+// beyond rounding slack. The cache and machine layers depend on this — their
+// block-indexed state (LRU index, coherence directory) lives in lazily-paged
+// dense arrays indexed directly by BlockID instead of hash maps, which is
+// what keeps the simulator's hot path allocation-free. Code that mints
+// BlockIDs some other way (there is none today) would break that assumption.
 type Allocator struct {
 	m    *Memory
 	next Addr

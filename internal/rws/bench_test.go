@@ -38,6 +38,25 @@ func BenchmarkAccessRangeSim(b *testing.B) {
 	_ = n
 }
 
+// BenchmarkEngineStep measures the scheduler hot loop — minClockProc +
+// step + deque traffic — by driving one engine through a fork tree whose
+// leaf count scales with b.N. Reported ns/op is ns per simulated leaf, on a
+// wide machine where clock selection and steal traffic dominate.
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := DefaultConfig(64)
+	cfg.Seed = 7
+	e := MustNewEngine(cfg)
+	const span = 1 << 12
+	out := e.Machine().Alloc.Alloc(span)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(func(c *Ctx) {
+		c.ForkN(b.N, func(j int, c *Ctx) {
+			c.StoreInt(out+mem.Addr(j&(span-1)), int64(j))
+		})
+	})
+}
+
 // BenchmarkStealHeavy measures a steal-dominated workload: tiny tasks, many
 // processors.
 func BenchmarkStealHeavy(b *testing.B) {

@@ -83,9 +83,12 @@ type Engine struct {
 	pool *exec.Pool
 	rng  *rand.Rand
 
+	// sched tracks per-processor clocks in an indexed min-heap so picking
+	// the next processor is O(log P); clock aliases sched's backing slice.
+	sched   *clockHeap
 	clock   []machine.Tick
 	running []*strand
-	deques  [][]*spawn
+	deques  []deque
 
 	stealBudget int64
 	done        bool
@@ -117,14 +120,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	sched := newClockHeap(cfg.Machine.P)
 	e := &Engine{
 		cfg:         cfg,
 		mach:        m,
 		pool:        exec.NewPool(m.Alloc),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		clock:       make([]machine.Tick, cfg.Machine.P),
+		sched:       sched,
+		clock:       sched.clock,
 		running:     make([]*strand, cfg.Machine.P),
-		deques:      make([][]*spawn, cfg.Machine.P),
+		deques:      make([]deque, cfg.Machine.P),
 		stealBudget: cfg.StealBudget,
 	}
 	if cfg.AuditStackBlocks {
@@ -159,8 +164,9 @@ func (e *Engine) Run(rootFn func(*Ctx)) Result {
 	st.proc = 0
 
 	for !e.done {
-		p := e.minClockProc()
+		p := e.sched.min()
 		e.step(p)
+		e.sched.fix(p)
 	}
 	e.drain()
 
@@ -193,16 +199,6 @@ func (e *Engine) drain() {
 			return
 		}
 	}
-}
-
-func (e *Engine) minClockProc() int {
-	best := 0
-	for p := 1; p < len(e.clock); p++ {
-		if e.clock[p] < e.clock[best] {
-			best = p
-		}
-	}
-	return best
 }
 
 // step advances processor p by one action: resuming its strand until the
@@ -391,16 +387,14 @@ func (e *Engine) newStrand(t *Task, fn func(*Ctx), jc *joinCell) *strand {
 // only one of the two is ever active, so no locking is needed.
 
 func (e *Engine) pushBottom(p int, sp *spawn) {
-	e.deques[p] = append(e.deques[p], sp)
+	e.deques[p].pushBottom(sp)
 	e.spawns++
 }
 
 // popBottomIf removes sp from the bottom of p's deque iff it is still there
 // (i.e. it was not stolen and not popped by the idle-path).
 func (e *Engine) popBottomIf(p int, sp *spawn) bool {
-	dq := e.deques[p]
-	if n := len(dq); n > 0 && dq[n-1] == sp {
-		e.deques[p] = dq[:n-1]
+	if e.deques[p].popBottomIf(sp) {
 		e.inlinePops++
 		return true
 	}
@@ -408,24 +402,11 @@ func (e *Engine) popBottomIf(p int, sp *spawn) bool {
 }
 
 func (e *Engine) popOwnBottom(p int) *spawn {
-	dq := e.deques[p]
-	if n := len(dq); n > 0 {
-		sp := dq[n-1]
-		e.deques[p] = dq[:n-1]
-		return sp
-	}
-	return nil
+	return e.deques[p].popBottom()
 }
 
 func (e *Engine) popTop(p int) *spawn {
-	dq := e.deques[p]
-	if len(dq) > 0 {
-		sp := dq[0]
-		copy(dq, dq[1:])
-		e.deques[p] = dq[:len(dq)-1]
-		return sp
-	}
-	return nil
+	return e.deques[p].popTop()
 }
 
 func (e *Engine) collect() Result {

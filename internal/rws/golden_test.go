@@ -1,0 +1,172 @@
+package rws
+
+import (
+	"testing"
+
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+)
+
+// golden pins the externally observable Result of a fixed (Config, workload)
+// pair. The values were recorded from the pre-refactor reference
+// implementation (container/list LRU, map-based coherence state, O(P) clock
+// scan, slice-copy deques); the rewritten hot path must reproduce them
+// bit-for-bit — any drift means simulated semantics changed, not just speed.
+type golden struct {
+	name     string
+	cfg      func() Config
+	workload func(*Ctx, mem.Addr)
+	words    int // simulated words to allocate and pass to the workload
+
+	makespan      machine.Tick
+	totals        machine.ProcCounters
+	steals        int64
+	failedSteals  int64
+	spawns        int64
+	inlinePops    int64
+	idlePops      int64
+	usurpations   int64
+	transfersTot  int64
+	transfersMax  int64
+	maxWriteCount int64
+}
+
+func goldenCases() []golden {
+	return []golden{
+		{
+			// False-sharing-heavy: adjacent word writes from a wide fork tree.
+			name: "fs-forkn-p4",
+			cfg: func() Config {
+				c := DefaultConfig(4)
+				c.Seed = 42
+				return c
+			},
+			words: 256,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(128, func(j int, c *Ctx) {
+					c.Work(3)
+					c.StoreInt(base+mem.Addr(j), int64(j))
+					c.LoadInt(base + mem.Addr((j+1)%128))
+				})
+			},
+			makespan: 586,
+			totals: machine.ProcCounters{WorkTicks: 894, CacheMisses: 37, BlockMisses: 15,
+				MissStall: 520, BlockWait: 180, StealsOK: 13, StealsFail: 50, StealTicks: 760,
+				Usurpations: 11, NodesExecuted: 254, AccessesTimed: 523, InvalidationsSent: 31},
+			steals: 13, failedSteals: 50, spawns: 127, inlinePops: 114, idlePops: 0, usurpations: 11,
+			transfersTot: 52, transfersMax: 15, maxWriteCount: -1,
+		},
+		{
+			// Capacity-miss-heavy: tiny caches, bulk range traffic, recursion.
+			name: "capacity-ranges-p8",
+			cfg: func() Config {
+				c := DefaultConfig(8)
+				c.Seed = 7
+				c.Machine.M = 128
+				c.Machine.B = 8
+				c.Machine.CostMiss = 4
+				c.Machine.CostSteal = 8
+				c.Machine.CostFailSteal = 4
+				return c
+			},
+			words: 1 << 12,
+			workload: func(c *Ctx, base mem.Addr) {
+				var rec func(c *Ctx, lo, hi int)
+				rec = func(c *Ctx, lo, hi int) {
+					if hi-lo <= 256 {
+						c.ReadRange(base+mem.Addr(lo), hi-lo)
+						c.WriteRange(base+mem.Addr(lo), (hi-lo)/2)
+						return
+					}
+					mid := lo + (hi-lo)/2
+					c.Fork(
+						func(c *Ctx) { rec(c, lo, mid) },
+						func(c *Ctx) { rec(c, mid, hi) })
+				}
+				rec(c, 0, 1<<12)
+			},
+			makespan: 546,
+			totals: machine.ProcCounters{WorkTicks: 30, CacheMisses: 796, BlockMisses: 0,
+				MissStall: 3184, BlockWait: 0, StealsOK: 12, StealsFail: 268, StealTicks: 1168,
+				Usurpations: 11, NodesExecuted: 30, AccessesTimed: 6186, InvalidationsSent: 9},
+			steals: 12, failedSteals: 268, spawns: 15, inlinePops: 3, idlePops: 0, usurpations: 11,
+			transfersTot: 796, transfersMax: 6, maxWriteCount: -1,
+		},
+		{
+			// Free arbitration + write tracking + a steal budget.
+			name: "free-arb-budget-p3",
+			cfg: func() Config {
+				c := DefaultConfig(3)
+				c.Seed = 123
+				c.StealBudget = 5
+				c.Machine.Arbitration = machine.ArbitrationFree
+				c.Machine.TrackWrites = true
+				return c
+			},
+			words: 512,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(48, func(j int, c *Ctx) {
+					c.StoreInt(base+mem.Addr(4*j%512), int64(j))
+					c.Work(machine.Tick(1 + j%7))
+					c.ReadRange(base, 64)
+				})
+			},
+			makespan: 338,
+			totals: machine.ProcCounters{WorkTicks: 331, CacheMisses: 30, BlockMisses: 8,
+				MissStall: 380, BlockWait: 0, StealsOK: 5, StealsFail: 21, StealTicks: 310,
+				Usurpations: 4, NodesExecuted: 94, AccessesTimed: 3219, InvalidationsSent: 14},
+			steals: 5, failedSteals: 21, spawns: 47, inlinePops: 42, idlePops: 0, usurpations: 4,
+			transfersTot: 38, transfersMax: 7, maxWriteCount: 2,
+		},
+	}
+}
+
+// TestGoldenDeterminism replays the three pinned runs and compares every
+// externally observable metric against the recorded reference values.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, g := range goldenCases() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			e := MustNewEngine(g.cfg())
+			base := e.Machine().Alloc.Alloc(g.words)
+			res := e.Run(func(c *Ctx) { g.workload(c, base) })
+
+			if res.Makespan != g.makespan {
+				t.Errorf("Makespan = %d, golden %d", res.Makespan, g.makespan)
+			}
+			if res.Totals != g.totals {
+				t.Errorf("Totals = %+v\n     golden %+v", res.Totals, g.totals)
+			}
+			if res.Steals != g.steals || res.FailedSteals != g.failedSteals {
+				t.Errorf("Steals = %d/%d failed, golden %d/%d",
+					res.Steals, res.FailedSteals, g.steals, g.failedSteals)
+			}
+			if res.Spawns != g.spawns || res.InlinePops != g.inlinePops || res.IdlePops != g.idlePops {
+				t.Errorf("Spawns/InlinePops/IdlePops = %d/%d/%d, golden %d/%d/%d",
+					res.Spawns, res.InlinePops, res.IdlePops, g.spawns, g.inlinePops, g.idlePops)
+			}
+			if res.Usurpations != g.usurpations {
+				t.Errorf("Usurpations = %d, golden %d", res.Usurpations, g.usurpations)
+			}
+			if res.BlockTransfersTotal != g.transfersTot || res.BlockTransfersMax != g.transfersMax {
+				t.Errorf("BlockTransfers = %d total / %d max, golden %d/%d",
+					res.BlockTransfersTotal, res.BlockTransfersMax, g.transfersTot, g.transfersMax)
+			}
+			if res.MaxWriteCount != g.maxWriteCount {
+				t.Errorf("MaxWriteCount = %d, golden %d", res.MaxWriteCount, g.maxWriteCount)
+			}
+			if t.Failed() {
+				// Emit a ready-to-paste literal so re-pinning after an
+				// *intentional* semantic change is mechanical.
+				t.Logf("observed: makespan: %d,\ntotals: machine.ProcCounters{WorkTicks: %d, CacheMisses: %d, BlockMisses: %d, MissStall: %d, BlockWait: %d, StealsOK: %d, StealsFail: %d, StealTicks: %d, Usurpations: %d, NodesExecuted: %d, AccessesTimed: %d, InvalidationsSent: %d},\nsteals: %d, failedSteals: %d, spawns: %d, inlinePops: %d, idlePops: %d, usurpations: %d,\ntransfersTot: %d, transfersMax: %d, maxWriteCount: %d,",
+					res.Makespan,
+					res.Totals.WorkTicks, res.Totals.CacheMisses, res.Totals.BlockMisses,
+					res.Totals.MissStall, res.Totals.BlockWait, res.Totals.StealsOK,
+					res.Totals.StealsFail, res.Totals.StealTicks, res.Totals.Usurpations,
+					res.Totals.NodesExecuted, res.Totals.AccessesTimed, res.Totals.InvalidationsSent,
+					res.Steals, res.FailedSteals, res.Spawns, res.InlinePops, res.IdlePops,
+					res.Usurpations, res.BlockTransfersTotal, res.BlockTransfersMax, res.MaxWriteCount)
+			}
+		})
+	}
+}

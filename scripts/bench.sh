@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator hot-path microbenchmarks and record the
+# results in BENCH_rws.json, the repo's perf-trajectory file.
+#
+# Usage: scripts/bench.sh [extra go-test args]
+#
+# Runs `go test -bench=. -benchmem -count=3` on the two hot packages
+# (internal/machine: coherence core; internal/rws: engine step loop) and
+# keeps, per benchmark, the best ns/op of the three runs (min is the right
+# summary for noise on a shared host). The JSON also carries a frozen
+# "seed_reference" section: the same benchmarks measured against the
+# pre-refactor seed implementation (container/list LRU, map-based coherence
+# state, O(P) clock scan, slice-copy deques), recorded once in PR 1 so later
+# PRs can see the trajectory start.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-3}"
+OUT="BENCH_rws.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test ./internal/machine/ ./internal/rws/ -run '^$' -bench . -benchmem \
+    -count="$COUNT" "$@" | tee "$TMP"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    key = pkg "." name
+    if (!(key in best_ns) || ns + 0 < best_ns[key] + 0) {
+        best_ns[key] = ns; best_b[key] = bytes; best_a[key] = allocs
+        pkg_of[key] = pkg; name_of[key] = name
+    }
+    if (!(key in seen)) { order[++n] = key; seen[key] = 1 }
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": %s,\n", "'"$COUNT"'"
+    printf "  \"note\": \"best-of-count ns/op; seed_reference is the pre-refactor implementation, frozen in PR 1\",\n"
+    printf "  \"seed_reference\": {\n"
+    printf "    \"rwsfs/internal/machine.BenchmarkAccessBlock\":      {\"ns_per_op\": 299.8, \"bytes_per_op\": 52, \"allocs_per_op\": 1},\n"
+    printf "    \"rwsfs/internal/machine.BenchmarkAccessBlockHit\":   {\"ns_per_op\": 14.80, \"bytes_per_op\": 0, \"allocs_per_op\": 0},\n"
+    printf "    \"rwsfs/internal/machine.BenchmarkInvalidateOthers\": {\"ns_per_op\": 198.3, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
+    printf "    \"rwsfs/internal/rws.BenchmarkEngineStep\":           {\"ns_per_op\": 5380, \"bytes_per_op\": 103, \"allocs_per_op\": 3}\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        printf "    \"%s.%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            pkg_of[key], name_of[key], best_ns[key], \
+            (best_b[key] == "" ? "null" : best_b[key]), \
+            (best_a[key] == "" ? "null" : best_a[key]), \
+            (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
