@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-only E01,E09] [-md]
+//	experiments [-scale quick|full] [-only E01,E09] [-md] [-par N]
+//	            [-cpuprofile out.prof] [-memprofile out.prof]
+//
+// -par fans each experiment's independent simulator runs out over N host
+// workers (0 = GOMAXPROCS). Runs are deterministic and results are ordered,
+// so the output is byte-identical to a serial run (E14, which measures the
+// host's wall clock, always runs its native timing serially).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rwsfs/internal/harness"
@@ -20,7 +28,31 @@ func main() {
 	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	par := flag.Int("par", 1, "parallel simulator runs per sweep (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
+	n := *par
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	harness.SetWorkers(n)
 
 	var scale harness.Scale
 	switch *scaleFlag {
@@ -64,6 +96,26 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d shape checks failed\n", failures)
+		// Flush the profiles before the non-zero exit skips the defers.
+		pprof.StopCPUProfile()
+		writeMemProfile(*memprofile)
 		os.Exit(1)
+	}
+}
+
+// writeMemProfile records a heap profile to path if set.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 	}
 }

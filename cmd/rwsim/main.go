@@ -7,16 +7,22 @@
 //
 //	rwsim -alg matmul-la -n 64 -p 8 [-seed 1] [-B 16] [-M 4096]
 //	      [-b 10] [-s 20] [-budget -1] [-seq]
+//	      [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // Algorithms: matmul-ip, matmul-la, matmul-log, prefix, prefix-padded,
 // transpose, rm2bi, bi2rm, bi2rm-natural, bi2rm-rowgather, sort-merge,
 // sort-col, fft, listrank, conncomp.
+//
+// The profile flags exist so hot-path work on the simulator starts from a
+// real workload profile instead of guesswork.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rwsfs/internal/alg/matmul"
 	"rwsfs/internal/alg/prefix"
@@ -37,12 +43,42 @@ func main() {
 	sCost := flag.Int64("s", 20, "steal cost (ticks)")
 	budget := flag.Int64("budget", -1, "steal budget (-1 = unlimited)")
 	seq := flag.Bool("seq", false, "also run p=1 baseline and report speedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	mk, ok := makers(*alg, *n)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "rwsim: unknown algorithm %q\n", *alg)
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwsim: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rwsim: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rwsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rwsim: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := rws.DefaultConfig(*p)

@@ -18,27 +18,37 @@
 // # Simulator hot path
 //
 // Every timed access of every experiment funnels through
-// machine.Machine.Access and the rws engine step loop, so those layers are
-// engineered for allocation-free, cache-friendly steady state:
+// machine.Machine.Access and the rws engine, so those layers are engineered
+// for allocation-free, cache-friendly steady state:
 //
 //   - internal/cache is an intrusive array-backed LRU: recency links are
 //     prev/next indices in a flat node slice and the block→node index is a
-//     paged dense array, exploiting that mem.Allocator bump-allocates block
-//     IDs densely from zero.
+//     paged dense array (pages carved from arena chunks), exploiting that
+//     mem.Allocator bump-allocates block IDs densely from zero.
 //   - internal/machine keeps coherence state in a per-block directory
 //     (sharer and lost bitsets, busy-until tick, transfer count) so a
 //     write's invalidation broadcast walks only actual sharers instead of
 //     scanning all P caches.
-//   - internal/rws picks the next processor with an indexed min-heap over
-//     processor clocks (O(log P) per step, tie-broken by processor ID to
-//     keep scheduling bit-for-bit deterministic) and stores deques in
-//     head/tail ring buffers so steals are O(1).
+//   - internal/rws runs strands with an inline run-ahead engine: whichever
+//     goroutine holds the engine baton applies its own timed requests
+//     directly while its processor keeps the (clock, proc) minimum in the
+//     indexed clock min-heap, executes idle processors' steal attempts and
+//     deque pops itself, and hands the baton straight to the next strand —
+//     one goroutine switch per strand interleaving, zero everywhere else.
+//     Fork metadata (join cells, spawns, strand goroutines, stolen tasks
+//     and their stacks) is recycled through per-engine free lists fed by
+//     slab allocations, and ForkN trees fork leaf *ranges* instead of
+//     per-node closures, so the steady state allocates nothing.
+//   - internal/harness fans each experiment's independent deterministic
+//     (p, budget, seed) runs out across host workers (experiments -par)
+//     with ordered results, so sweep output is byte-identical to serial.
 //
 // Semantics are pinned by differential tests against the straightforward
-// reference implementations (container/list LRU, map-based coherence) and
-// by golden determinism tests: same Config.Seed, same Result, before and
-// after the rewrite. scripts/bench.sh records the trajectory in
-// BENCH_rws.json.
+// reference implementations (container/list LRU, map-based coherence, the
+// lockstep scheduling path via Config.DisableFastPath) and by golden
+// determinism tests: same Config.Seed, same Result, before and after the
+// rewrites. scripts/bench.sh records the trajectory in BENCH_rws.json and
+// fails when a tracked benchmark regresses more than 25%.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for recorded results.

@@ -24,10 +24,17 @@ import (
 )
 
 // idxPageShift sets the dense-index page size: 2^idxPageShift block IDs per
-// page (512 entries = 2 KiB per materialized page).
-const idxPageShift = 9
+// page (256 entries = 1 KiB per materialized page — execution-stack regions
+// cluster their touched blocks, so small pages waste little zeroed memory).
+// Pages are carved from an arena chunk covering idxArenaPages pages, so
+// materialization costs a fraction of an allocation.
+const idxPageShift = 8
 
 const idxPageLen = 1 << idxPageShift
+
+// idxArenaPages sets how many pages one arena chunk backs; small, so the
+// last chunk of a short run wastes little zeroed memory.
+const idxArenaPages = 4
 
 // node is one LRU list entry. Index 0 is the sentinel of the circular
 // recency list (next = MRU, prev = LRU); indices 1..capacity are blocks.
@@ -45,6 +52,8 @@ type Cache struct {
 	free     int32  // head of the free-node chain; 0 when exhausted
 	// index maps BlockID → node index + paged lazily; entry 0 means absent.
 	index [][]int32
+	// idxArena is the chunk new index pages are carved from.
+	idxArena []int32
 }
 
 // New returns a cache holding at most capacity blocks.
@@ -89,7 +98,10 @@ func (c *Cache) slot(b mem.BlockID) *int32 {
 		c.index = grown
 	}
 	if c.index[pg] == nil {
-		c.index[pg] = make([]int32, idxPageLen)
+		if len(c.idxArena) < idxPageLen {
+			c.idxArena = make([]int32, idxArenaPages*idxPageLen)
+		}
+		c.index[pg], c.idxArena = c.idxArena[:idxPageLen:idxPageLen], c.idxArena[idxPageLen:]
 	}
 	return &c.index[pg][uint64(b)&(idxPageLen-1)]
 }

@@ -43,20 +43,29 @@ type Stack struct {
 	inUse  int
 	peak   int
 	nAlloc int64
+	// spanBuf is the initial backing of free; fork/leaf segment churn rarely
+	// fragments a stack past a handful of spans, so most stacks never touch
+	// the heap for their free list.
+	spanBuf [6]span
 }
 
 // NewStack creates a stack over the region [base, base+words). The region
 // must be block-aligned; the caller obtains it from mem.Allocator, which
 // guarantees that (Property 4.3).
 func NewStack(base mem.Addr, words int) *Stack {
+	s := &Stack{}
+	s.init(base, words)
+	return s
+}
+
+func (s *Stack) init(base mem.Addr, words int) {
 	if words <= 0 {
 		panic(fmt.Sprintf("exec: stack of %d words", words))
 	}
-	return &Stack{
-		base:  base,
-		words: words,
-		free:  []span{{base, words}},
-	}
+	s.base = base
+	s.words = words
+	s.free = s.spanBuf[:1:len(s.spanBuf)]
+	s.free[0] = span{base, words}
 }
 
 // Base returns the region's first address.
@@ -161,46 +170,70 @@ func (s *Stack) FreeSpans() []Seg {
 // its blocks to a new task, which is what a real runtime's stack pool does;
 // Property 4.3 (block-disjointness of live allocations) is preserved because
 // a region is only recycled after its task completed.
+//
+// Free lists are kept in a dense slice indexed by size-class log2 (class
+// minClass<<i at index i), not a map: Get/Put sit on the engine's steal hot
+// path and the handful of classes a run touches makes the slice both smaller
+// and hash-free.
 type Pool struct {
-	alloc       *mem.Allocator
-	freeByClass map[int][]*Stack
-	created     int
-	reused      int
+	alloc   *mem.Allocator
+	free    [][]*Stack // free[i] holds stacks of class minClass << i
+	slab    []Stack    // fresh Stack structs are carved from here
+	created int
+	reused  int
 }
+
+// minClass is the smallest stack size class in words; classes are the
+// powers of two from here up.
+const minClass = 256
 
 // NewPool returns a pool drawing fresh regions from alloc.
 func NewPool(alloc *mem.Allocator) *Pool {
-	return &Pool{alloc: alloc, freeByClass: make(map[int][]*Stack)}
+	return &Pool{alloc: alloc}
 }
 
-// sizeClass rounds words up to a power of two at least 256.
-func sizeClass(words int) int {
-	c := 256
-	for c < words {
-		c <<= 1
+// sizeClass rounds words up to a power of two at least minClass and returns
+// it with its free-list index (log2 of class/minClass).
+func sizeClass(words int) (class, idx int) {
+	class = minClass
+	for class < words {
+		class <<= 1
+		idx++
 	}
-	return c
+	return class, idx
 }
 
 // Get returns a reset stack with at least words capacity.
 func (p *Pool) Get(words int) *Stack {
-	c := sizeClass(words)
-	if l := p.freeByClass[c]; len(l) > 0 {
-		s := l[len(l)-1]
-		p.freeByClass[c] = l[:len(l)-1]
-		s.Reset()
-		p.reused++
-		return s
+	class, idx := sizeClass(words)
+	if idx < len(p.free) {
+		if l := p.free[idx]; len(l) > 0 {
+			s := l[len(l)-1]
+			l[len(l)-1] = nil
+			p.free[idx] = l[:len(l)-1]
+			s.Reset()
+			p.reused++
+			return s
+		}
 	}
-	base := p.alloc.Alloc(c)
+	base := p.alloc.Alloc(class)
 	p.created++
-	return NewStack(base, c)
+	if len(p.slab) == 0 {
+		p.slab = make([]Stack, 16)
+	}
+	s := &p.slab[0]
+	p.slab = p.slab[1:]
+	s.init(base, class)
+	return s
 }
 
 // Put returns a stack to the pool. The caller must not use it afterwards.
 func (p *Pool) Put(s *Stack) {
-	c := sizeClass(s.words)
-	p.freeByClass[c] = append(p.freeByClass[c], s)
+	_, idx := sizeClass(s.words)
+	for idx >= len(p.free) {
+		p.free = append(p.free, nil)
+	}
+	p.free[idx] = append(p.free[idx], s)
 }
 
 // Stats reports how many regions were created fresh vs recycled.

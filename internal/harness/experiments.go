@@ -40,10 +40,16 @@ func mmMissExperiment(id string, v matmul.Variant, s Scale) Table {
 			"S is swept with the steal-budget knob.", seq.Totals.CacheMisses),
 		Header: []string{"budget", "S", "extraMiss", "bound", "meas/bound"},
 	}
+	budgets := budgetSweep(s)
+	specs := make([]runSpec, len(budgets))
+	for i, budget := range budgets {
+		specs[i] = runSpec{p: 8, budget: budget, seed: 12345}
+	}
+	results := sweepRuns(mk, base, specs)
 	var ratios []float64
 	var xs, ys []float64
-	for _, budget := range budgetSweep(s) {
-		res := runAt(mk, base, 8, budget, 12345)
+	for i, budget := range budgets {
+		res := results[i]
 		extra := res.Totals.CacheMisses - seq.Totals.CacheMisses
 		if extra < 0 {
 			extra = 0
@@ -95,12 +101,20 @@ func E03(s Scale) Table {
 	var ratios []float64
 	var maxes []float64
 	bs := []int{4, 8, 16, 32, 64}
-	for _, B := range bs {
-		base := rws.DefaultConfig(8)
-		base.Machine.B = B
-		base.Machine.M = 256 * B
-		mk := PrefixMaker(n, prefix.Config{Chunk: 1})
-		res := runAt(mk, base, 8, -1, 777)
+	jobs := make([]func() rws.Result, len(bs))
+	for i, B := range bs {
+		B := B
+		jobs[i] = func() rws.Result {
+			base := rws.DefaultConfig(8)
+			base.Machine.B = B
+			base.Machine.M = 256 * B
+			mk := PrefixMaker(n, prefix.Config{Chunk: 1})
+			return runAt(mk, base, 8, -1, 777)
+		}
+	}
+	results := runPar(jobs)
+	for i, B := range bs {
+		res := results[i]
 		ref := math.Min(float64(B), float64(ht)) + float64(log2i(n))
 		ratio := float64(res.BlockTransfersMax) / ref
 		ratios = append(ratios, ratio)
@@ -133,9 +147,15 @@ func E04(s Scale) Table {
 		Note:   "Lemma 4.5: block-miss delay is O(S·B) cache-miss units; each stolen task shares O(1) writable blocks.",
 		Header: []string{"budget", "S", "blockMiss", "S·B", "meas/(S·B)"},
 	}
+	budgets := budgetSweep(s)
+	specs := make([]runSpec, len(budgets))
+	for i, budget := range budgets {
+		specs[i] = runSpec{p: 8, budget: budget, seed: 99}
+	}
+	results := sweepRuns(mk, base, specs)
 	var ratios []float64
-	for _, budget := range budgetSweep(s) {
-		res := runAt(mk, base, 8, budget, 99)
+	for i, budget := range budgets {
+		res := results[i]
 		bound := analysis.BlockDelayPerSteal(float64(res.Steals), costs(base.Machine))
 		ratio := math.NaN()
 		if bound > 0 {
@@ -168,9 +188,15 @@ func E05(s Scale) Table {
 		Note:   "Lemma 4.6: O(n²/B + n·√S) cache misses; block delay O(S·B).",
 		Header: []string{"budget", "S", "cacheMiss", "missBound", "m/b", "blockMiss", "S·B"},
 	}
+	budgets := budgetSweep(s)
+	specs := make([]runSpec, len(budgets))
+	for i, budget := range budgets {
+		specs[i] = runSpec{p: 8, budget: budget, seed: 31}
+	}
+	results := sweepRuns(mk, base, specs)
 	var mr, br []float64
-	for _, budget := range budgetSweep(s) {
-		res := runAt(mk, base, 8, budget, 31)
+	for i, budget := range budgets {
+		res := results[i]
 		bound := analysis.RMToBICacheMisses(n, float64(res.Steals), cs)
 		ratio := float64(res.Totals.CacheMisses) / bound
 		mr = append(mr, ratio)
@@ -213,13 +239,27 @@ func E06(s Scale) Table {
 			"should exceed the buffered version's (rows average 3 scheduling seeds).", seq.Totals.CacheMisses),
 		Header: []string{"budget", "S_buf", "bufExtra", "bufBound", "bufBlk", "S_nat", "natBlk"},
 	}
+	bufMk := BIToRMMaker(n, false)
+	natMk := BIToRMMaker(n, true)
+	budgets := budgetSweep(s)
+	var jobs []func() rws.Result
+	for _, budget := range budgets {
+		for seed := int64(1); seed <= 3; seed++ {
+			budget, seed := budget, seed
+			jobs = append(jobs,
+				func() rws.Result { return runAt(bufMk, base, 8, budget, 40+seed) },
+				func() rws.Result { return runAt(natMk, base, 8, budget, 40+seed) })
+		}
+	}
+	results := runPar(jobs)
 	var mr []float64
 	var bufTot, natTot int64
-	for _, budget := range budgetSweep(s) {
+	k := 0
+	for _, budget := range budgets {
 		var sb, mbuf, bb, sn, bn int64
 		for seed := int64(1); seed <= 3; seed++ {
-			rb := runAt(BIToRMMaker(n, false), base, 8, budget, 40+seed)
-			rn := runAt(BIToRMMaker(n, true), base, 8, budget, 40+seed)
+			rb, rn := results[k], results[k+1]
+			k += 2
 			sb += rb.Steals
 			mbuf += rb.Totals.CacheMisses - seq.Totals.CacheMisses
 			bb += rb.Totals.BlockMisses
@@ -264,14 +304,23 @@ func E07(s Scale) Table {
 	if s == Quick {
 		ps = []int{2, 4, 8}
 	}
+	var specs []runSpec
+	for _, p := range ps {
+		for seed := int64(1); seed <= 3; seed++ {
+			specs = append(specs, runSpec{p: p, budget: -1, seed: seed})
+		}
+	}
+	results := sweepRuns(mk, base, specs)
 	var prev float64
 	monotone := true
 	var ratios []float64
+	k := 0
 	for _, p := range ps {
 		var st, fs int64
 		var ticks int64
 		for seed := int64(1); seed <= 3; seed++ {
-			res := runAt(mk, base, p, -1, seed)
+			res := results[k]
+			k++
 			st += res.Steals
 			fs += res.FailedSteals
 			ticks += int64(res.Totals.StealTicks)
@@ -333,12 +382,19 @@ func E08(s Scale) Table {
 			"Theorem 6.2: S = O(p·h(t)(1+a)); the *ordering* of the cases is the reproducible claim.",
 		Header: []string{"case", "h(t) pred", "S(avg)", "S/(p·h·2)"},
 	}
-	var hs, ss []float64
+	var jobs []func() rws.Result
 	for _, r := range rows {
-		var st int64
 		for seed := int64(1); seed <= 3; seed++ {
-			res := runAt(r.mk, base, 8, -1, seed)
-			st += res.Steals
+			mk, seed := r.mk, seed
+			jobs = append(jobs, func() rws.Result { return runAt(mk, base, 8, -1, seed) })
+		}
+	}
+	results := runPar(jobs)
+	var hs, ss []float64
+	for ri, r := range rows {
+		var st int64
+		for si := 0; si < 3; si++ {
+			st += results[ri*3+si].Steals
 		}
 		avg := float64(st) / 3
 		hs = append(hs, r.hPred)
@@ -369,12 +425,25 @@ func E09(s Scale) Table {
 			"The claim under test: the ratio S_n/S_log grows with n.",
 		Header: []string{"n", "S depth-n", "S depth-log²", "ratio", "pred ratio"},
 	}
+	var jobs []func() rws.Result
+	for _, n := range ns {
+		mkN := MMMaker(matmul.LimitedAccessDepthN, n, 4)
+		mkL := MMMaker(matmul.DepthLog2, n, 4)
+		for seed := int64(1); seed <= 3; seed++ {
+			seed := seed
+			jobs = append(jobs,
+				func() rws.Result { return runAt(mkN, base, 8, -1, seed) },
+				func() rws.Result { return runAt(mkL, base, 8, -1, seed) })
+		}
+	}
+	results := runPar(jobs)
 	var ratios []float64
+	k := 0
 	for _, n := range ns {
 		var sn, sl int64
 		for seed := int64(1); seed <= 3; seed++ {
-			rn := runAt(MMMaker(matmul.LimitedAccessDepthN, n, 4), base, 8, -1, seed)
-			rl := runAt(MMMaker(matmul.DepthLog2, n, 4), base, 8, -1, seed)
+			rn, rl := results[k], results[k+1]
+			k += 2
 			sn += rn.Steals
 			sl += rl.Steals
 		}
@@ -416,13 +485,25 @@ func E10(s Scale) Table {
 		{fmt.Sprintf("prefix-sums n=%d", nPrefix), PrefixMaker(nPrefix, prefix.Config{Chunk: 4}), nPrefix},
 		{fmt.Sprintf("transpose n=%d", nT), TransposeMaker(nT), nT * nT},
 	}
+	var jobs []func() rws.Result
+	for _, a := range algs {
+		for _, p := range []int{4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				mk, p, seed := a.mk, p, seed
+				jobs = append(jobs, func() rws.Result { return runAt(mk, base, p, -1, seed) })
+			}
+		}
+	}
+	results := runPar(jobs)
 	var sratios, eratios []float64
+	k := 0
 	for _, a := range algs {
 		seq := seqBaseline(a.mk, base)
 		for _, p := range []int{4, 8} {
 			var st, extra int64
 			for seed := int64(1); seed <= 3; seed++ {
-				res := runAt(a.mk, base, p, -1, seed)
+				res := results[k]
+				k++
 				st += res.Steals
 				extra += res.Totals.CacheMisses - seq.Totals.CacheMisses
 			}
@@ -468,11 +549,19 @@ func E11(s Scale) Table {
 		{"columnsort", SortMaker(sorthbp.Columnsort, n)},
 		{"fft", FFTMaker(n)},
 	}
-	var sr, br []float64
+	var jobs []func() rws.Result
 	for _, a := range algs {
-		var st, bm int64
 		for seed := int64(1); seed <= 3; seed++ {
-			res := runAt(a.mk, base, 8, -1, seed)
+			mk, seed := a.mk, seed
+			jobs = append(jobs, func() rws.Result { return runAt(mk, base, 8, -1, seed) })
+		}
+	}
+	results := runPar(jobs)
+	var sr, br []float64
+	for ai, a := range algs {
+		var st, bm int64
+		for si := 0; si < 3; si++ {
+			res := results[ai*3+si]
 			st += res.Steals
 			bm += res.Totals.BlockMisses
 		}
@@ -517,12 +606,21 @@ func E12(s Scale) Table {
 		{"listrank", ListRankMaker(n)},
 		{"conncomp", ConnCompMaker(n, 2*n)},
 	}
-	var speedups []float64
+	var jobs []func() rws.Result
 	for _, a := range algs {
-		seq := seqBaseline(a.mk, base)
+		mk := a.mk
+		jobs = append(jobs,
+			func() rws.Result { return seqBaseline(mk, base) },
+			func() rws.Result { return runAt(mk, base, 4, -1, 5) },
+			func() rws.Result { return runAt(mk, base, 8, -1, 5) })
+	}
+	results := runPar(jobs)
+	var speedups []float64
+	for ai, a := range algs {
+		seq := results[ai*3]
 		t.AddRow(a.name, "1", "0", fmtI(seq.Totals.BlockMisses), fmtI(int64(seq.Makespan)), "1.00")
-		for _, p := range []int{4, 8} {
-			res := runAt(a.mk, base, p, -1, 5)
+		for pi, p := range []int{4, 8} {
+			res := results[ai*3+1+pi]
 			sp := float64(seq.Makespan) / float64(res.Makespan)
 			speedups = append(speedups, sp)
 			t.AddRow(a.name, fmtI(int64(p)), fmtI(res.Steals), fmtI(res.Totals.BlockMisses),
@@ -554,11 +652,20 @@ func E13(s Scale) Table {
 			"Theorem 6.1: S = O(p·h(t)(1+a)).", hFull, hSimple),
 		Header: []string{"variant", "S", "S/(p·h·2)", "maxXfer", "blockMiss"},
 	}
+	variants := []bool{false, true}
+	jobs := make([]func() rws.Result, len(variants))
+	for i, padded := range variants {
+		padded := padded
+		jobs[i] = func() rws.Result {
+			mk := PrefixMaker(n, prefix.Config{Chunk: 1, Padded: padded})
+			return runAt(mk, base, 8, -1, 21)
+		}
+	}
+	results := runPar(jobs)
 	var ratios []float64
 	var plainMax, paddedMax int64
-	for _, padded := range []bool{false, true} {
-		mk := PrefixMaker(n, prefix.Config{Chunk: 1, Padded: padded})
-		res := runAt(mk, base, 8, -1, 21)
+	for i, padded := range variants {
+		res := results[i]
 		bound := analysis.StealBoundGeneral(8, hFull, 1)
 		ratios = append(ratios, float64(res.Steals)/bound)
 		name := "plain BP"
@@ -640,13 +747,22 @@ func E15(s Scale) Table {
 			"When it holds, makespan should scale near 1/p.", seq.Totals.CacheMisses),
 		Header: []string{"p", "S(avg)", "condRatio", "makespan", "speedup", "eff=speedup/p"},
 	}
+	var specs []runSpec
+	for _, p := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			specs = append(specs, runSpec{p: p, budget: -1, seed: seed})
+		}
+	}
+	results := sweepRuns(mk, base, specs)
 	var effs []float64
+	k := 0
 	for _, p := range []int{1, 2, 4, 8} {
 		var st int64
 		var span int64
 		var extra int64
 		for seed := int64(1); seed <= 3; seed++ {
-			res := runAt(mk, base, p, -1, seed)
+			res := results[k]
+			k++
 			st += res.Steals
 			span += int64(res.Makespan)
 			extra += res.Totals.CacheMisses - seq.Totals.CacheMisses

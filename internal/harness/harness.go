@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"rwsfs/internal/analysis"
 	"rwsfs/internal/machine"
@@ -48,6 +49,19 @@ func (t *Table) Checked(name string, pass bool, detail string) {
 	t.Checks = append(t.Checks, Check{Name: name, Pass: pass, Detail: detail})
 }
 
+// columns returns the table's true column count: the header's, widened by
+// any row carrying more cells (renderers must not silently drop cells or
+// misalign on such rows).
+func (t *Table) columns() int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
 // Format renders the table with aligned columns, ready for a terminal.
 func (t *Table) Format() string {
 	var b strings.Builder
@@ -55,13 +69,13 @@ func (t *Table) Format() string {
 	if t.Note != "" {
 		fmt.Fprintf(&b, "%s\n", t.Note)
 	}
-	widths := make([]int, len(t.Header))
+	widths := make([]int, t.columns())
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -96,10 +110,19 @@ func (t *Table) Markdown() string {
 	if t.Note != "" {
 		fmt.Fprintf(&b, "%s\n\n", t.Note)
 	}
-	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
-	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	ncols := t.columns()
+	pad := func(cells []string) []string {
+		if len(cells) == ncols {
+			return cells
+		}
+		out := make([]string, ncols)
+		copy(out, cells)
+		return out
+	}
+	b.WriteString("| " + strings.Join(pad(t.Header), " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", ncols) + "\n")
 	for _, r := range t.Rows {
-		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+		b.WriteString("| " + strings.Join(pad(r), " | ") + " |\n")
 	}
 	b.WriteByte('\n')
 	for _, c := range t.Checks {
@@ -149,6 +172,73 @@ func Lookup(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// workers is the sweep fan-out width; see SetWorkers.
+var workers = 1
+
+// SetWorkers sets how many simulator runs the experiment sweeps execute
+// concurrently on the host. Every run is an independent deterministic
+// Engine.Run over its own engine and inputs, and runPar returns results in
+// submission order, so the rendered tables are byte-identical for any
+// worker count. n < 1 is treated as 1 (serial).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+}
+
+// runPar executes independent simulator runs and returns their results in
+// submission order. With one worker the jobs run serially in place;
+// otherwise they fan out over a bounded worker pool.
+func runPar(jobs []func() rws.Result) []rws.Result {
+	out := make([]rws.Result, len(jobs))
+	if workers == 1 || len(jobs) <= 1 {
+		for i, job := range jobs {
+			out[i] = job()
+		}
+		return out
+	}
+	w := workers
+	if w > len(jobs) {
+		w = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				out[j] = jobs[j]()
+			}
+		}()
+	}
+	for j := range jobs {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runSpec is one (processors, steal budget, seed) point of a sweep.
+type runSpec struct {
+	p      int
+	budget int64
+	seed   int64
+}
+
+// sweepRuns executes mk at every spec, fanning out across the configured
+// workers, with results in spec order.
+func sweepRuns(mk Maker, base rws.Config, specs []runSpec) []rws.Result {
+	jobs := make([]func() rws.Result, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		jobs[i] = func() rws.Result { return runAt(mk, base, sp.p, sp.budget, sp.seed) }
+	}
+	return runPar(jobs)
 }
 
 // costs converts machine params to analysis costs.

@@ -67,3 +67,51 @@ func TestFitLogLog(t *testing.T) {
 		t.Errorf("slope %v, want 2", s)
 	}
 }
+
+func TestTableWideRows(t *testing.T) {
+	// Rows may carry more cells than the header (e.g. a detail column only
+	// some rows have); rendering must widen rather than silently truncate.
+	tbl := Table{ID: "W", Title: "wide", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2", "extra-cell")
+	tbl.AddRow("3", "4")
+	txt := tbl.Format()
+	if !strings.Contains(txt, "extra-cell") {
+		t.Errorf("Format dropped the extra cell:\n%s", txt)
+	}
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| 1 | 2 | extra-cell |") {
+		t.Errorf("Markdown dropped or misplaced the extra cell:\n%s", md)
+	}
+	if !strings.Contains(md, "| a | b |  |\n|---|---|---|") {
+		t.Errorf("Markdown header not padded to the widest row:\n%s", md)
+	}
+	if !strings.Contains(md, "| 3 | 4 |  |") {
+		t.Errorf("Markdown short row not padded:\n%s", md)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison skipped in -short mode")
+	}
+	// The sweep runner must render byte-identical tables for any worker
+	// count: runs are independent deterministic engines and results are
+	// ordered. E07 (nested p×seed sweep) and E03 (per-row configs) cover
+	// both batching shapes.
+	defer SetWorkers(1)
+	for _, id := range []string{"E03", "E07"} {
+		ex, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		SetWorkers(1)
+		st := ex.Run(Quick)
+		serial := st.Format()
+		SetWorkers(4)
+		pt := ex.Run(Quick)
+		parallel := pt.Format()
+		if serial != parallel {
+			t.Errorf("%s: parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", id, serial, parallel)
+		}
+	}
+}

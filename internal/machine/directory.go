@@ -19,7 +19,7 @@ import "rwsfs/internal/mem"
 // materialized lazily on first touch. All steady-state operations are
 // allocation-free, and a write's invalidation broadcast walks only the
 // actual sharer bits instead of scanning all P caches.
-const dirPageShift = 9
+const dirPageShift = 8
 
 const dirPageLen = 1 << dirPageShift
 
@@ -32,14 +32,49 @@ type dirPage struct {
 	bits      []uint64
 }
 
+// dirArenaPages sets how many pages' backing storage one arena chunk holds:
+// page materialization costs 1/dirArenaPages-th of an allocation per slice
+// instead of four. Kept small so a run's last chunk wastes little zeroed
+// memory — allocation *bytes* drive GC frequency as much as counts.
+const dirArenaPages = 4
+
 // directory is the paged per-block coherence directory.
 type directory struct {
 	w     int // uint64 words per bitset: ceil(P/64)
 	pages []*dirPage
+
+	// Arena chunks that page materialization carves slices from.
+	pageSlab  []dirPage
+	tickArena []Tick
+	cntArena  []int64
+	bitsArena []uint64
 }
 
 func newDirectory(p int) *directory {
 	return &directory{w: (p + 63) / 64}
+}
+
+// newPage carves one zeroed page from the arenas.
+func (d *directory) newPage() *dirPage {
+	if len(d.pageSlab) == 0 {
+		d.pageSlab = make([]dirPage, dirArenaPages)
+	}
+	page := &d.pageSlab[0]
+	d.pageSlab = d.pageSlab[1:]
+	if len(d.tickArena) < dirPageLen {
+		d.tickArena = make([]Tick, dirArenaPages*dirPageLen)
+	}
+	page.busyUntil, d.tickArena = d.tickArena[:dirPageLen:dirPageLen], d.tickArena[dirPageLen:]
+	if len(d.cntArena) < dirPageLen {
+		d.cntArena = make([]int64, dirArenaPages*dirPageLen)
+	}
+	page.transfers, d.cntArena = d.cntArena[:dirPageLen:dirPageLen], d.cntArena[dirPageLen:]
+	bitsLen := dirPageLen * 2 * d.w
+	if len(d.bitsArena) < bitsLen {
+		d.bitsArena = make([]uint64, dirArenaPages*bitsLen)
+	}
+	page.bits, d.bitsArena = d.bitsArena[:bitsLen:bitsLen], d.bitsArena[bitsLen:]
+	return page
 }
 
 // dirRef is a resolved handle on one block's record.
@@ -59,11 +94,7 @@ func (d *directory) entry(bid mem.BlockID) dirRef {
 	}
 	page := d.pages[pg]
 	if page == nil {
-		page = &dirPage{
-			busyUntil: make([]Tick, dirPageLen),
-			transfers: make([]int64, dirPageLen),
-			bits:      make([]uint64, dirPageLen*2*d.w),
-		}
+		page = d.newPage()
 		d.pages[pg] = page
 	}
 	return dirRef{pg: page, i: int(uint64(bid) & (dirPageLen - 1)), w: d.w}

@@ -20,8 +20,11 @@ type Addr int64
 // BlockID identifies a cache block (line): BlockID = Addr / B.
 type BlockID int64
 
-// pageShift sets the lazy-allocation page size: 2^pageShift words per page.
-const pageShift = 13
+// pageShift sets the lazy-allocation page size: 2^pageShift words per page
+// (2048 words = 16 KiB). Kept modest: most runs touch narrow value ranges
+// (inputs, outputs) inside a much larger reserved address space, and page
+// zeroing is pure overhead for the untouched remainder.
+const pageShift = 11
 
 const pageWords = 1 << pageShift
 

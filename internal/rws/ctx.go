@@ -23,13 +23,178 @@ type Ctx struct {
 	proc int
 }
 
-// request sends r to the engine and blocks until the engine schedules this
-// strand again, updating the current processor.
-func (c *Ctx) request(r request) {
-	c.s.req <- r
-	w := <-c.s.resume
-	c.proc = w.proc
-	c.s.proc = w.proc
+// chargeWork advances this processor's clock by t work ticks. A pure work
+// charge touches only this processor's clock and counters — no deque, no
+// coherence state, no RNG — so its effect commutes with every other
+// processor's action in the window it spans. On the fast path the min-check
+// is therefore deferred: sync runs it at the next shared-state operation,
+// where the skipped interleavings replay in one coalesced yield with the
+// identical global order of all shared actions (and identical metrics).
+// Raw Mem() manipulation relies on the timing discipline: covered ranges
+// are only read or written by strands ordered around them by joins, so
+// deferral cannot change what race-free algorithms observe.
+func (c *Ctx) chargeWork(t machine.Tick) {
+	e := c.e
+	p := c.proc
+	e.clock[p] += t
+	e.mach.Proc[p].WorkTicks += t
+	if e.fastPath {
+		e.heapDirty = true
+		return
+	}
+	c.afterCharge()
+}
+
+// sync re-checks the heap if pure work charges deferred it. Every operation
+// that reads or writes state another processor can observe — timed memory
+// accesses, stack segment allocation, deque traffic, finishing — must sync
+// first so it applies in global (clock, proc) order.
+func (c *Ctx) sync() {
+	if c.e.heapDirty {
+		c.e.heapDirty = false
+		c.afterCharge()
+	}
+}
+
+// chargeAccess performs a timed access of n contiguous words at a, charging
+// the coherence delay plus work extra ticks. The entry sync orders the
+// access correctly against every other processor (heap clean ⟹ this
+// processor is the minimum). A write's post-charge min-check is deferred
+// like a work charge's — nothing observes its clock advance until the next
+// shared operation — while a read re-checks immediately so the values the
+// caller goes on to consume reflect every lower-clocked write.
+func (c *Ctx) chargeAccess(a mem.Addr, n int, write bool, work machine.Tick) {
+	c.sync()
+	e := c.e
+	p := c.proc
+	c.t.accesses += int64(n)
+	delay := e.mach.AccessRange(p, a, n, write, e.clock[p])
+	e.clock[p] += delay + work
+	e.mach.Proc[p].WorkTicks += work
+	if write && e.fastPath {
+		e.heapDirty = true
+		return
+	}
+	c.afterCharge()
+}
+
+// reportChildDone performs the completion report of a spawned child: a timed
+// write to the join flag on the parent task's stack, then the engine-visible
+// mark. Doing both in one action keeps flag value and childDone consistent.
+func (c *Ctx) reportChildDone(jc *joinCell) {
+	c.sync()
+	e := c.e
+	p := c.proc
+	c.t.accesses++
+	e.clock[p] += e.mach.AccessRange(p, jc.addr, 1, true, e.clock[p])
+	jc.childDone = true
+	if e.fastPath {
+		e.heapDirty = true
+		return
+	}
+	c.afterCharge()
+}
+
+// afterCharge restores heap order after this processor's clock advanced.
+// On the run-ahead fast path the strand keeps executing while its processor
+// still holds the minimum (clock, proc) key — exactly the processor the
+// engine loop would pick next — so no handoff of any kind happens. Otherwise
+// it re-enters the scheduler.
+func (c *Ctx) afterCharge() {
+	stillMin := c.e.sched.rootStillMin()
+	if stillMin && c.e.fastPath {
+		return
+	}
+	c.yieldToScheduler()
+}
+
+// yieldToScheduler runs the engine loop in this strand's goroutine until its
+// own processor is due again (return directly — no goroutine switch), or
+// another strand must run (pass the baton to it and block until the baton
+// comes back).
+func (c *Ctx) yieldToScheduler() {
+	e := c.e
+	self := c.s
+	for {
+		p := e.sched.min()
+		if st := e.running[p]; st != nil {
+			if st == self {
+				c.proc = p
+				self.proc = p
+				return
+			}
+			st.sendWake(p)
+			wp := self.recvWake()
+			c.proc = wp
+			self.proc = wp
+			return
+		}
+		e.idleStep(p)
+	}
+}
+
+// park blocks this strand on jc until the child's finisher unparks it; the
+// strand gives up its processor and the baton.
+func (c *Ctx) park(jc *joinCell) {
+	if jc.parked != nil {
+		panic("rws: double park on one join")
+	}
+	jc.parked = c.s
+	c.e.running[c.proc] = nil
+	c.yieldToScheduler()
+}
+
+// finishStrand retires this strand after its job's body and join report
+// completed: it releases the strand (and, for a stolen task's last strand,
+// the task and its stack) back to the pools, unparks the forking strand if
+// it waited on jc, and passes the baton on — back to the engine goroutine
+// when the computation is done, to the next runnable strand otherwise.
+func (c *Ctx) finishStrand(jc *joinCell) {
+	// Lower-clocked processors must act before the finish becomes visible
+	// (root finish especially: done cuts their remaining actions off).
+	c.sync()
+	e := c.e
+	st := c.s
+	p := c.proc
+	e.running[p] = nil
+	task := st.task
+	task.liveStrands--
+	e.putStrand(st)
+	if jc == nil {
+		// Root strand finished: computation complete.
+		if task != e.root {
+			panic("rws: non-root strand finished without a join")
+		}
+		e.done = true
+		e.finishTime = e.clock[p]
+		e.baton <- batonNote{}
+		return
+	}
+	if task.stolen && task.liveStrands == 0 {
+		e.stolenSizes = append(e.stolenSizes, task.accesses)
+		if e.audit != nil {
+			e.audit.finish(task)
+		}
+		e.pool.Put(task.stack)
+		e.putTask(task)
+	}
+	parked := jc.parked
+	jc.parked = nil
+	e.releaseJoin(jc)
+	if parked != nil {
+		if parked.proc != p {
+			e.usurpations++
+			e.mach.Proc[p].Usurpations++
+		}
+		parked.proc = p
+		e.running[p] = parked
+	}
+	if e.done {
+		// Draining: the root already finished; hand the baton back.
+		e.baton <- batonNote{}
+		return
+	}
+	e.handoff()
 }
 
 // Proc returns the processor currently executing this strand. It can change
@@ -51,23 +216,23 @@ func (c *Ctx) Work(t machine.Tick) {
 	if t <= 0 {
 		return
 	}
-	c.request(request{kind: reqWork, work: t})
+	c.chargeWork(t)
 }
 
 // Node charges the O(1) cost of executing one DAG node and counts it.
 func (c *Ctx) Node() {
 	c.e.mach.Proc[c.proc].NodesExecuted++
-	c.request(request{kind: reqWork, work: c.e.mach.CostNode})
+	c.chargeWork(c.e.mach.CostNode)
 }
 
 // Read performs a timed read of the word at a.
 func (c *Ctx) Read(a mem.Addr) {
-	c.request(request{kind: reqAccess, addr: a, n: 1})
+	c.chargeAccess(a, 1, false, 0)
 }
 
 // Write performs a timed write of the word at a.
 func (c *Ctx) Write(a mem.Addr) {
-	c.request(request{kind: reqAccess, addr: a, n: 1, write: true})
+	c.chargeAccess(a, 1, true, 0)
 }
 
 // ReadRange performs a timed read of n contiguous words starting at a; each
@@ -76,7 +241,7 @@ func (c *Ctx) ReadRange(a mem.Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	c.request(request{kind: reqAccess, addr: a, n: n})
+	c.chargeAccess(a, n, false, 0)
 }
 
 // WriteRange performs a timed write of n contiguous words starting at a.
@@ -84,32 +249,36 @@ func (c *Ctx) WriteRange(a mem.Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	c.request(request{kind: reqAccess, addr: a, n: n, write: true})
+	c.chargeAccess(a, n, true, 0)
 }
 
 // LoadInt is a timed read returning the word at a as an integer; it also
 // charges one tick of work (the O(1) operation consuming the value).
 func (c *Ctx) LoadInt(a mem.Addr) int64 {
-	c.request(request{kind: reqAccess, addr: a, n: 1, work: 1})
+	c.chargeAccess(a, 1, false, 1)
 	return c.e.mach.Mem.LoadInt(a)
 }
 
-// StoreInt is a timed write of v at a, charging one tick of work.
+// StoreInt is a timed write of v at a, charging one tick of work. The value
+// lands after the charge, so it becomes visible exactly at the access's
+// clock position: lower-clocked loads replayed by the charge's entry sync
+// still see the old value, identically on the fast and lockstep paths.
 func (c *Ctx) StoreInt(a mem.Addr, v int64) {
+	c.chargeAccess(a, 1, true, 1)
 	c.e.mach.Mem.StoreInt(a, v)
-	c.request(request{kind: reqAccess, addr: a, n: 1, write: true, work: 1})
 }
 
 // LoadFloat is a timed read returning the word at a as a float64.
 func (c *Ctx) LoadFloat(a mem.Addr) float64 {
-	c.request(request{kind: reqAccess, addr: a, n: 1, work: 1})
+	c.chargeAccess(a, 1, false, 1)
 	return c.e.mach.Mem.LoadFloat(a)
 }
 
-// StoreFloat is a timed write of v at a.
+// StoreFloat is a timed write of v at a; like StoreInt, the value lands
+// after the charge.
 func (c *Ctx) StoreFloat(a mem.Addr, v float64) {
+	c.chargeAccess(a, 1, true, 1)
 	c.e.mach.Mem.StoreFloat(a, v)
-	c.request(request{kind: reqAccess, addr: a, n: 1, write: true, work: 1})
 }
 
 // Alloc allocates a words-long segment on this task's execution stack S_τ.
@@ -117,13 +286,19 @@ func (c *Ctx) StoreFloat(a mem.Addr, v float64) {
 // like any other accesses. The addresses become fresh variables for the
 // limited-access write tracker.
 func (c *Ctx) Alloc(words int) exec.Seg {
+	// The stack is shared among this task's strands and first-fit addresses
+	// depend on allocation order, so order it like any shared operation.
+	c.sync()
 	seg := c.t.stack.Alloc(words)
 	c.e.mach.RetireRange(seg.Base, seg.Words)
 	return seg
 }
 
 // Free returns a segment allocated with Alloc.
-func (c *Ctx) Free(seg exec.Seg) { c.t.stack.Free(seg) }
+func (c *Ctx) Free(seg exec.Seg) {
+	c.sync()
+	c.t.stack.Free(seg)
+}
 
 // Fork runs left and right as the two sides of a series-parallel fork: right
 // is pushed on the current processor's queue bottom (stealable), left runs
@@ -137,33 +312,102 @@ func (c *Ctx) Fork(left, right func(*Ctx)) {
 // execution of right: if a thief steals it, the new task's execution stack
 // has at least hint words. Pass 0 for the engine default.
 func (c *Ctx) ForkHint(hint int, left, right func(*Ctx)) {
-	c.Node() // the fork node's O(1) work
-	seg := c.Alloc(1)
-	jc := &joinCell{addr: seg.Base}
-	// Creating the join flag is a write to the parent's stack segment: the
-	// "hidden variable for reporting the completion of a subtask" (Sec. 6.1).
-	c.Write(jc.addr)
-	sp := &spawn{fn: right, task: c.t, jc: jc, stackHint: hint}
-	c.e.pushBottom(c.proc, sp)
+	sp, jc, seg := c.forkPrologue(hint)
+	sp.fn = right
+	c.pushSpawn(sp)
 
 	left(c)
 
+	c.forkEpilogue(sp, jc, seg)
+}
+
+// forkPrologue performs the fork node's shared entry sequence: the O(1) fork
+// node, the join-flag segment on this task's stack (the "hidden variable for
+// reporting the completion of a subtask", Sec. 6.1) with its timed creation
+// write, and a pooled spawn bound to this task's kernel. The caller fills in
+// the spawn's payload and pushes it.
+func (c *Ctx) forkPrologue(hint int) (*spawn, *joinCell, exec.Seg) {
+	c.Node() // the fork node's O(1) work
+	seg := c.Alloc(1)
+	jc := c.e.getJoin(seg.Base)
+	c.Write(jc.addr)
+	sp := c.e.getSpawn()
+	sp.task = c.t
+	sp.jc = jc
+	sp.stackHint = hint
+	return sp, jc, seg
+}
+
+// forkEpilogue joins a fork after the left side returned: pop-and-run the
+// right side inline if nobody consumed the spawn, otherwise check the join
+// flag and park until the consumer's strand reports. The spawn is recycled
+// here in both branches — any consumer copied its fields out when it popped,
+// and deferring recycling to this point keeps popBottomIf's pointer identity
+// check sound. The join cell's releases follow the package comment's
+// lifecycle.
+func (c *Ctx) forkEpilogue(sp *spawn, jc *joinCell, seg exec.Seg) {
+	// The pop must see the deque as of this strand's current clock: thieves
+	// with earlier clocks get their chance at sp first.
+	c.sync()
 	if c.e.popBottomIf(c.proc, sp) {
 		// Not stolen: execute right inline as part of this kernel, then
 		// report its completion on the join flag.
-		right(c)
-		c.request(request{kind: reqChildDone, jc: jc})
+		fn, body, lo, hi, hintFn := sp.fn, sp.body, sp.lo, sp.hi, sp.hintFn
+		c.e.putSpawn(sp)
+		if fn != nil {
+			fn(c)
+		} else {
+			c.forkRange(lo, hi, hintFn, body)
+		}
+		c.reportChildDone(jc)
+		// No child strand ever existed, so both join-cell holds drop here.
+		c.e.putJoin(jc)
 	} else {
 		// right was stolen (or picked up by an idle processor of ours).
+		c.e.putSpawn(sp)
 		// Check the join flag; if the child has not finished, park: the
 		// child's finisher will continue this kernel, possibly usurping.
 		c.Read(jc.addr)
 		if !jc.childDone {
-			c.request(request{kind: reqPark, jc: jc})
+			c.park(jc)
 		}
+		c.e.releaseJoin(jc)
 	}
 	c.Node() // the join node's O(1) work
-	c.t.stack.Free(seg)
+	c.Free(seg) // via Ctx.Free: the first-fit free list is shared task state
+}
+
+// pushSpawn makes sp stealable. The deque is shared state: thieves with
+// earlier clocks must get their look at it before the push lands.
+func (c *Ctx) pushSpawn(sp *spawn) {
+	c.sync()
+	c.e.pushBottom(c.proc, sp)
+}
+
+// forkRange executes body over the leaf range [lo, hi) as a balanced binary
+// fork tree without allocating per-node closures: the stealable right child
+// is a (mid, hi) range spawn that re-enters this walker, and the left child
+// is direct recursion.
+func (c *Ctx) forkRange(lo, hi int, hintFn func(lo, hi int) int, body func(i int, c *Ctx)) {
+	if hi-lo == 1 {
+		body(lo, c)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	h := 0
+	if hintFn != nil {
+		h = hintFn(mid, hi)
+	}
+	sp, jc, seg := c.forkPrologue(h)
+	sp.body = body
+	sp.lo = mid
+	sp.hi = hi
+	sp.hintFn = hintFn
+	c.pushSpawn(sp)
+
+	c.forkRange(lo, mid, hintFn, body)
+
+	c.forkEpilogue(sp, jc, seg)
 }
 
 // ForkN runs body(0..k-1) as the leaves of a balanced binary fork tree, the
@@ -180,22 +424,7 @@ func (c *Ctx) ForkNHint(k int, hint func(lo, hi int) int, body func(i int, c *Ct
 	if k <= 0 {
 		return
 	}
-	var rec func(lo, hi int, c *Ctx)
-	rec = func(lo, hi int, c *Ctx) {
-		if hi-lo == 1 {
-			body(lo, c)
-			return
-		}
-		mid := lo + (hi-lo)/2
-		h := 0
-		if hint != nil {
-			h = hint(mid, hi)
-		}
-		c.ForkHint(h,
-			func(c *Ctx) { rec(lo, mid, c) },
-			func(c *Ctx) { rec(mid, hi, c) })
-	}
-	rec(0, k, c)
+	c.forkRange(0, k, hint, body)
 }
 
 // SeqStep charges one O(1) node plus w ticks of work: convenience for

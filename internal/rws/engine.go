@@ -6,6 +6,7 @@ import (
 
 	"rwsfs/internal/exec"
 	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
 )
 
 // Config configures one simulated run.
@@ -28,6 +29,12 @@ type Config struct {
 	// block of its execution stack during its lifetime is recorded in
 	// Result.StackAudits.
 	AuditStackBlocks bool
+	// DisableFastPath turns off the run-ahead shortcut: the executing strand
+	// re-enters the scheduler loop after every timed request instead of
+	// continuing while its processor keeps the (clock, proc) minimum.
+	// Semantics are identical either way (the differential tests assert
+	// it); the knob exists for those tests and for debugging.
+	DisableFastPath bool
 }
 
 // DefaultConfig returns a Config over machine.DefaultParams(p).
@@ -66,9 +73,10 @@ type Result struct {
 	// experiments.
 	StolenKernelSizes []int64
 
-	RootStackPeak int64 // peak words on the root task's stack (space checks)
-	StacksCreated int   // fresh stack regions allocated
-	StacksReused  int   // regions recycled from the pool
+	RootStackPeak   int64 // peak words on the root task's stack (space checks)
+	StacksCreated   int   // fresh stack regions allocated
+	StacksReused    int   // regions recycled from the pool
+	StrandsLaunched int   // goroutines created (pooling keeps this near peak concurrency)
 
 	// StackAudits holds the per-task Lemma 4.3/4.4 block-delay audit when
 	// Config.AuditStackBlocks was set.
@@ -77,6 +85,11 @@ type Result struct {
 
 // Engine runs fork-join computations under simulated RWS. Create with
 // NewEngine, populate simulated memory through Machine(), then call Run once.
+//
+// At runtime exactly one goroutine at a time — the baton holder — touches
+// Engine state: either the goroutine that called Run (start, drain, collect)
+// or one strand goroutine (see the package comment's run-ahead protocol).
+// No Engine state is locked; the baton's channel handoffs order everything.
 type Engine struct {
 	cfg  Config
 	mach *machine.Machine
@@ -90,6 +103,16 @@ type Engine struct {
 	running []*strand
 	deques  []deque
 
+	// fastPath enables run-ahead in Ctx's charge methods.
+	fastPath bool
+	// heapDirty marks that the baton holder advanced its clock with pure
+	// work charges without re-checking the heap; the next shared-state
+	// operation syncs (fix + possible yield) before touching anything
+	// another processor can observe. The baton never passes while dirty.
+	heapDirty bool
+	// baton returns control to the engine goroutine on completion or panic.
+	baton chan batonNote
+
 	stealBudget int64
 	done        bool
 	finishTime  machine.Tick
@@ -98,6 +121,20 @@ type Engine struct {
 	strandSeq int64
 	root      *Task
 	audit     *auditor
+
+	// Free lists for the recycled scheduling metadata (see the package
+	// comment's pooling lifecycle). Only the baton holder touches them.
+	// First use carves objects out of slabs so warming the pools costs a
+	// couple of allocations, not one per live object.
+	jcFree     []*joinCell
+	spFree     []*spawn
+	strandFree []*strand
+	taskFree   []*Task
+	jcSlab     []joinCell
+	spSlab     []spawn
+	taskSlab   []Task
+	strandSlab []strand
+	allStrands []*strand // every launched strand, for shutdown
 
 	steals      int64
 	failed      int64
@@ -130,8 +167,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 		clock:       sched.clock,
 		running:     make([]*strand, cfg.Machine.P),
 		deques:      make([]deque, cfg.Machine.P),
+		fastPath:    !cfg.DisableFastPath,
+		baton:       make(chan batonNote, 1),
 		stealBudget: cfg.StealBudget,
 	}
+	if cfg.StealBudget >= 0 {
+		// One entry per stolen task; tightly budgeted runs never regrow the
+		// slice. Capped so an effectively-unlimited budget does not reserve
+		// gigabytes upfront.
+		presize := cfg.StealBudget
+		if presize > 1<<16 {
+			presize = 1 << 16
+		}
+		e.stolenSizes = make([]int64, 0, presize)
+	}
+	// Pre-size the metadata free lists past typical peak live counts so
+	// recycling never regrows them mid-run.
+	e.jcFree = make([]*joinCell, 0, slabLen)
+	e.spFree = make([]*spawn, 0, slabLen)
+	e.strandFree = make([]*strand, 0, slabLen)
+	e.taskFree = make([]*Task, 0, slabLen)
+	e.allStrands = make([]*strand, 0, slabLen)
 	if cfg.AuditStackBlocks {
 		e.audit = newAuditor()
 		m.OnTransfer = e.audit.observe
@@ -158,25 +214,33 @@ func (e *Engine) Run(rootFn func(*Ctx)) Result {
 	if e.root != nil {
 		panic("rws: Engine.Run called twice")
 	}
-	e.root = e.newTask(nil, e.cfg.RootStackWords, false)
-	st := e.newStrand(e.root, rootFn, nil)
+	e.root = e.newTask(e.cfg.RootStackWords, false)
+	st := e.newStrand(e.root, strandJob{fn: rootFn})
 	e.running[0] = st
 	st.proc = 0
 
-	for !e.done {
-		p := e.sched.min()
-		e.step(p)
-		e.sched.fix(p)
-	}
+	// All clocks are zero, so processor 0 holds the minimum: hand the root
+	// strand the baton and wait for it to come back (completion or panic).
+	st.sendWake(0)
+	e.recvBaton()
 	e.drain()
+	e.shutdown()
 
 	return e.collect()
 }
 
+// recvBaton blocks until a strand hands the baton back to the engine
+// goroutine, re-raising any algorithm panic.
+func (e *Engine) recvBaton() {
+	if note := <-e.baton; note.pv != nil {
+		panic(fmt.Sprintf("rws: algorithm panicked on processor %d: %v", note.proc, note.pv))
+	}
+}
+
 // drain retires strands that already reported their join completion but had
-// not yet sent their final reqFinish when the root finished. At that point
-// every join in the dag is complete, so the only possible pending request is
-// reqFinish; processing it releases stacks and ends the goroutines.
+// not yet finished when the root completed. At that point every join in the
+// dag is complete, so each remaining strand's next action is its finish,
+// which hands the baton straight back (finishStrand sees done).
 func (e *Engine) drain() {
 	for spins := 0; ; spins++ {
 		if spins > len(e.running)+4 {
@@ -188,12 +252,11 @@ func (e *Engine) drain() {
 				continue
 			}
 			pending = true
-			st.resume <- wake{proc: p}
-			r := <-st.req
-			if r.kind != reqFinish {
-				panic(fmt.Sprintf("rws: unexpected post-completion request kind %d", r.kind))
+			st.sendWake(p)
+			e.recvBaton()
+			if e.running[p] != nil {
+				panic("rws: drained strand did not finish")
 			}
-			e.handle(p, st, r)
 		}
 		if !pending {
 			return
@@ -201,88 +264,41 @@ func (e *Engine) drain() {
 	}
 }
 
-// step advances processor p by one action: resuming its strand until the
-// next timed request, or popping its own deque, or attempting one steal.
-func (e *Engine) step(p int) {
-	if st := e.running[p]; st != nil {
-		st.resume <- wake{proc: p}
-		r := <-st.req
-		e.handle(p, st, r)
-		return
+// shutdown ends every pooled strand goroutine. By the end of drain each one
+// is parked on (or heading for) its job channel, so closing it exits the
+// loop.
+func (e *Engine) shutdown() {
+	for _, st := range e.allStrands {
+		st.shut()
 	}
-	// Idle: first serve own queue bottom (the paper's "retrieves the task
-	// from the bottom of its queue"), then turn thief.
+}
+
+// idleStep advances idle processor p by one action: popping its own deque
+// bottom (the paper's "retrieves the task from the bottom of its queue") or
+// attempting one steal. Runs inline in whichever goroutine holds the baton.
+func (e *Engine) idleStep(p int) {
 	if sp := e.popOwnBottom(p); sp != nil {
 		e.idlePops++
 		e.clock[p] += e.mach.CostNode
 		e.startSpawn(p, sp, false)
-		return
+	} else {
+		e.stealAttempt(p)
 	}
-	e.stealAttempt(p)
+	e.sched.fix(p)
 }
 
-func (e *Engine) handle(p int, st *strand, r request) {
-	switch r.kind {
-	case reqWork:
-		e.clock[p] += r.work
-		e.mach.Proc[p].WorkTicks += r.work
-
-	case reqAccess:
-		st.task.accesses += int64(r.n)
-		delay := e.mach.AccessRange(p, r.addr, r.n, r.write, e.clock[p])
-		e.clock[p] += delay + r.work
-		e.mach.Proc[p].WorkTicks += r.work
-
-	case reqChildDone:
-		// The completion report: a timed write to the join flag on the
-		// parent task's stack, then the engine-visible mark. Doing both in
-		// one engine action keeps flag value and childDone consistent.
-		st.task.accesses++
-		delay := e.mach.AccessRange(p, r.jc.addr, 1, true, e.clock[p])
-		e.clock[p] += delay
-		r.jc.childDone = true
-
-	case reqPark:
-		if r.jc.parked != nil {
-			panic("rws: double park on one join")
-		}
-		r.jc.parked = st
-		e.running[p] = nil
-
-	case reqFinish:
-		e.running[p] = nil
-		st.task.liveStrands--
-		if r.jc == nil {
-			// Root strand finished: computation complete.
-			if st.task != e.root {
-				panic("rws: non-root strand finished without a join")
-			}
-			e.done = true
-			e.finishTime = e.clock[p]
+// handoff runs the engine loop until a strand must execute, then passes the
+// baton to it without waiting. Called by a finishing strand (which may hand
+// the baton to itself for a freshly assigned job — resume is buffered for
+// exactly that).
+func (e *Engine) handoff() {
+	for {
+		p := e.sched.min()
+		if st := e.running[p]; st != nil {
+			st.sendWake(p)
 			return
 		}
-		if st.task.stolen && st.task.liveStrands == 0 {
-			e.stolenSizes = append(e.stolenSizes, st.task.accesses)
-			if e.audit != nil {
-				e.audit.finish(st.task)
-			}
-			e.pool.Put(st.task.stack)
-		}
-		if parked := r.jc.parked; parked != nil {
-			r.jc.parked = nil
-			if parked.proc != p {
-				e.usurpations++
-				e.mach.Proc[p].Usurpations++
-			}
-			parked.proc = p
-			e.running[p] = parked
-		}
-
-	case reqPanic:
-		panic(fmt.Sprintf("rws: algorithm panicked on processor %d: %v", p, r.pv))
-
-	default:
-		panic("rws: unknown request")
+		e.idleStep(p)
 	}
 }
 
@@ -321,7 +337,8 @@ func (e *Engine) stealAttempt(p int) {
 
 // startSpawn begins executing spawn sp on processor p. If stolen, sp becomes
 // a fresh task with its own execution stack; otherwise it runs as a new
-// strand of its owning task's kernel.
+// strand of its owning task's kernel. sp itself stays with the forking
+// strand, which recycles it at the join decision point.
 func (e *Engine) startSpawn(p int, sp *spawn, stolen bool) {
 	task := sp.task
 	if stolen {
@@ -329,20 +346,35 @@ func (e *Engine) startSpawn(p int, sp *spawn, stolen bool) {
 		if hint <= 0 {
 			hint = e.cfg.DefaultStackWords
 		}
-		task = e.newTask(sp.task, hint, true)
+		task = e.newTask(hint, true)
 	}
-	st := e.newStrand(task, sp.fn, sp.jc)
+	st := e.newStrand(task, strandJob{
+		fn: sp.fn, body: sp.body, lo: sp.lo, hi: sp.hi, hintFn: sp.hintFn, jc: sp.jc,
+	})
 	st.proc = p
 	e.running[p] = st
 }
 
-func (e *Engine) newTask(parent *Task, stackWords int, stolen bool) *Task {
-	t := &Task{
-		id:     e.taskSeq,
-		stack:  e.pool.Get(stackWords),
-		parent: parent,
-		stolen: stolen,
+// slabLen sizes the metadata slabs; peak live object counts beyond it just
+// cost another slab.
+const slabLen = 64
+
+func (e *Engine) newTask(stackWords int, stolen bool) *Task {
+	var t *Task
+	if n := len(e.taskFree); n > 0 {
+		t = e.taskFree[n-1]
+		e.taskFree = e.taskFree[:n-1]
+		*t = Task{}
+	} else {
+		if len(e.taskSlab) == 0 {
+			e.taskSlab = make([]Task, slabLen)
+		}
+		t = &e.taskSlab[0]
+		e.taskSlab = e.taskSlab[1:]
 	}
+	t.id = e.taskSeq
+	t.stack = e.pool.Get(stackWords)
+	t.stolen = stolen
 	e.taskSeq++
 	if e.audit != nil {
 		e.audit.register(t, e.mach.B)
@@ -350,41 +382,144 @@ func (e *Engine) newTask(parent *Task, stackWords int, stolen bool) *Task {
 	return t
 }
 
-// newStrand launches the goroutine for fn; it waits for its first wake.
-func (e *Engine) newStrand(t *Task, fn func(*Ctx), jc *joinCell) *strand {
-	st := &strand{
-		id:     e.strandSeq,
-		task:   t,
-		req:    make(chan request),
-		resume: make(chan wake),
-	}
-	e.strandSeq++
-	t.liveStrands++
-	go func() {
-		w := <-st.resume
-		st.proc = w.proc
-		c := &Ctx{e: e, t: t, s: st, proc: w.proc}
-		defer func() {
-			if pv := recover(); pv != nil {
-				st.req <- request{kind: reqPanic, pv: pv}
-			}
-		}()
-		fn(c)
-		// After fn returns the whole subtree rooted at this strand has
-		// joined. Report completion on the parent's join flag (a timed write
-		// to the parent task's stack — the false-sharing channel), then
-		// finish.
-		if jc != nil {
-			c.request(request{kind: reqChildDone, jc: jc})
+// putTask recycles a stolen task whose last strand finished; its metrics
+// were recorded and its stack already returned to the exec pool.
+func (e *Engine) putTask(t *Task) {
+	t.stack = nil
+	e.taskFree = append(e.taskFree, t)
+}
+
+// newStrand binds job to a pooled strand (launching a goroutine only when
+// the free list is empty) and queues the job; the strand then waits for the
+// baton.
+func (e *Engine) newStrand(t *Task, job strandJob) *strand {
+	var st *strand
+	if n := len(e.strandFree); n > 0 {
+		st = e.strandFree[n-1]
+		e.strandFree = e.strandFree[:n-1]
+	} else {
+		if len(e.strandSlab) == 0 {
+			e.strandSlab = make([]strand, slabLen)
 		}
-		st.req <- request{kind: reqFinish, jc: jc}
-	}()
+		st = &e.strandSlab[0]
+		e.strandSlab = e.strandSlab[1:]
+		st.resume = make(chan wake, 1)
+		st.cond.L = &st.mu
+		e.allStrands = append(e.allStrands, st)
+		go e.strandLoop(st)
+	}
+	st.id = e.strandSeq
+	e.strandSeq++
+	st.task = t
+	t.liveStrands++
+	job.task = t
+	st.sendJob(job)
 	return st
 }
 
-// Deque operations. These are called both from the engine loop and directly
-// from strand goroutines; the strict engine<->strand handoff protocol means
-// only one of the two is ever active, so no locking is needed.
+// putStrand parks a finished strand on the free list; its goroutine loops
+// back to the job channel.
+func (e *Engine) putStrand(st *strand) {
+	st.task = nil
+	e.strandFree = append(e.strandFree, st)
+}
+
+// strandLoop is the body of one pooled strand goroutine: run jobs until the
+// engine shuts the channel at the end of Run.
+func (e *Engine) strandLoop(st *strand) {
+	for {
+		job, ok := st.waitJob()
+		if !ok {
+			return
+		}
+		e.runJob(st, job)
+	}
+}
+
+// runJob executes one kernel piece; it waits for the baton, runs the fork
+// closure or leaf range, reports on the join flag, and finishes (which
+// passes the baton on).
+func (e *Engine) runJob(st *strand, job strandJob) {
+	p := st.recvWake()
+	st.proc = p
+	st.ctx = Ctx{e: e, t: job.task, s: st, proc: p}
+	c := &st.ctx
+	defer func() {
+		if pv := recover(); pv != nil {
+			e.baton <- batonNote{proc: st.proc, pv: pv}
+		}
+	}()
+	if job.fn != nil {
+		job.fn(c)
+	} else {
+		c.forkRange(job.lo, job.hi, job.hintFn, job.body)
+	}
+	// After the body returns the whole subtree rooted at this strand has
+	// joined. Report completion on the parent's join flag (a timed write to
+	// the parent task's stack — the false-sharing channel), then finish.
+	if job.jc != nil {
+		c.reportChildDone(job.jc)
+	}
+	c.finishStrand(job.jc)
+}
+
+// Join-cell and spawn free lists.
+
+func (e *Engine) getJoin(addr mem.Addr) *joinCell {
+	var jc *joinCell
+	if n := len(e.jcFree); n > 0 {
+		jc = e.jcFree[n-1]
+		e.jcFree = e.jcFree[:n-1]
+	} else {
+		if len(e.jcSlab) == 0 {
+			e.jcSlab = make([]joinCell, slabLen)
+		}
+		jc = &e.jcSlab[0]
+		e.jcSlab = e.jcSlab[1:]
+	}
+	jc.addr = addr
+	jc.childDone = false
+	jc.parked = nil
+	jc.refs = 2
+	return jc
+}
+
+// releaseJoin drops one of a join cell's two holds and recycles the cell
+// when the second drop lands.
+func (e *Engine) releaseJoin(jc *joinCell) {
+	jc.refs--
+	if jc.refs == 0 {
+		e.putJoin(jc)
+	}
+}
+
+func (e *Engine) putJoin(jc *joinCell) {
+	jc.parked = nil
+	e.jcFree = append(e.jcFree, jc)
+}
+
+func (e *Engine) getSpawn() *spawn {
+	if n := len(e.spFree); n > 0 {
+		sp := e.spFree[n-1]
+		e.spFree = e.spFree[:n-1]
+		return sp
+	}
+	if len(e.spSlab) == 0 {
+		e.spSlab = make([]spawn, slabLen)
+	}
+	sp := &e.spSlab[0]
+	e.spSlab = e.spSlab[1:]
+	return sp
+}
+
+func (e *Engine) putSpawn(sp *spawn) {
+	*sp = spawn{}
+	e.spFree = append(e.spFree, sp)
+}
+
+// Deque operations. These are called from whichever goroutine holds the
+// baton; the baton discipline means only one is ever active, so no locking
+// is needed.
 
 func (e *Engine) pushBottom(p int, sp *spawn) {
 	e.deques[p].pushBottom(sp)
@@ -436,6 +571,7 @@ func (e *Engine) collect() Result {
 		RootStackPeak:       int64(e.root.stack.Peak()),
 		StacksCreated:       created,
 		StacksReused:        reused,
+		StrandsLaunched:     len(e.allStrands),
 		StackAudits:         audits,
 	}
 	return res

@@ -118,6 +118,46 @@ func goldenCases() []golden {
 			steals: 5, failedSteals: 21, spawns: 47, inlinePops: 42, idlePops: 0, usurpations: 4,
 			transfersTot: 38, transfersMax: 7, maxWriteCount: 2,
 		},
+		{
+			// Steal-heavy and usurpation-rich: a lopsided recursive fork tree
+			// with strongly imbalanced leaf work on six processors, so joins
+			// are routinely completed last by thieves (usurpations) and the
+			// recycled joinCell/spawn/strand pools turn over constantly.
+			// Added with the run-ahead engine; values recorded from the
+			// channel-lockstep-equivalent slow path (DisableFastPath), which
+			// the differential test holds equal to the fast path.
+			name: "usurp-lopsided-p6",
+			cfg: func() Config {
+				c := DefaultConfig(6)
+				c.Seed = 2024
+				return c
+			},
+			words: 384,
+			workload: func(c *Ctx, base mem.Addr) {
+				var rec func(c *Ctx, lo, hi int)
+				rec = func(c *Ctx, lo, hi int) {
+					if hi-lo <= 2 {
+						for i := lo; i < hi; i++ {
+							c.Work(machine.Tick(5 + (i%11)*17))
+							c.StoreInt(base+mem.Addr(i%384), int64(i))
+							c.LoadInt(base + mem.Addr((i*7)%384))
+						}
+						return
+					}
+					mid := lo + (hi-lo)/3 + 1 // lopsided split
+					c.Fork(
+						func(c *Ctx) { rec(c, lo, mid) },
+						func(c *Ctx) { rec(c, mid, hi) })
+				}
+				rec(c, 0, 96)
+			},
+			makespan: 1985,
+			totals: machine.ProcCounters{WorkTicks: 8740, CacheMisses: 90, BlockMisses: 39,
+				MissStall: 1290, BlockWait: 86, StealsOK: 18, StealsFail: 146, StealTicks: 1820,
+				Usurpations: 15, NodesExecuted: 112, AccessesTimed: 322, InvalidationsSent: 74},
+			steals: 18, failedSteals: 146, spawns: 56, inlinePops: 38, idlePops: 0, usurpations: 15,
+			transfersTot: 129, transfersMax: 16, maxWriteCount: -1,
+		},
 	}
 }
 

@@ -48,6 +48,27 @@ func (h *clockHeap) fix(p int) {
 	}
 }
 
+// rootStillMin restores heap order after the root processor's clock grew
+// (clocks only increase, so a siftDown suffices) and reports whether that
+// processor kept the minimum (clock, proc) key. The run-ahead fast path
+// calls this after every inline request: the executing strand's processor
+// is at the root by construction, and it may keep running exactly while it
+// remains the minimum. The still-min case is the hot one, so it is decided
+// with direct child comparisons before falling back to a full siftDown.
+func (h *clockHeap) rootStillMin() bool {
+	n := int32(len(h.heap))
+	r := h.heap[0]
+	if 1 < n && h.less(h.heap[1], r) {
+		h.siftDown(0)
+		return false
+	}
+	if 2 < n && h.less(h.heap[2], r) {
+		h.siftDown(0)
+		return false
+	}
+	return true
+}
+
 func (h *clockHeap) swap(i, j int32) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 	h.pos[h.heap[i]] = i

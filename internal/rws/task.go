@@ -17,11 +17,63 @@
 // a segment of the parent's stack, so a thief's completion write really does
 // invalidate the parent's cached block — the false-sharing channel the paper
 // analyzes.
+//
+// # Run-ahead execution
+//
+// Strands run as goroutines, but there is no scheduler goroutine mediating
+// them: exactly one goroutine at a time holds the engine "baton" and is
+// allowed to touch engine state. The baton holder applies its own timed
+// requests (work, memory accesses, join-flag writes) directly — the engine
+// always runs the processor holding the minimum (clock, proc) key, so while
+// the holder's processor keeps that minimum it simply keeps executing
+// (run-ahead). When its clock rises past another processor's, or it parks on
+// a join, or it finishes, the holder itself runs the engine loop: idle
+// processors' actions (deque pops, steal attempts) execute inline with no
+// goroutine switch, and when another strand must run the baton is handed
+// directly to it through its resume channel — one goroutine switch per
+// strand interleaving, and zero for everything else. The engine goroutine
+// that called Run only starts the root strand, reclaims the baton at the
+// end (or on a panic), and drains.
+//
+// The sequence of simulated actions, and therefore every metric and the RNG
+// consumption order, is identical to a lockstep one-request-per-handoff
+// protocol: Config.DisableFastPath turns off only the run-ahead shortcut
+// (re-entering the scheduler after every request), and the differential
+// tests assert the two modes produce bit-for-bit equal Results.
+//
+// # Pooling lifecycle
+//
+// Fork metadata is recycled through per-engine free lists, so the steady
+// state allocates nothing:
+//
+//   - A spawn is created at the fork, consumed exactly once (steal, idle pop,
+//     or the owner's inline pop), and recycled by the *forking strand* at the
+//     join decision point — after popBottomIf resolved, when any consumer has
+//     already copied the fields out. Holding recycling until then keeps the
+//     pointer-identity check of popBottomIf sound: a spawn cannot re-enter
+//     the pool, and hence reappear in a deque, while its fork still holds it.
+//   - A joinCell has two releases: the forking strand (after it passed the
+//     join, parked-and-resumed or not) and the completing child strand (in
+//     the engine's reqFinish handling). Whichever release comes second
+//     recycles the cell; a fork whose spawn was popped inline releases both
+//     at once since no child strand ever existed.
+//   - A strand — struct, channels, and goroutine — is recycled when its
+//     reqFinish is handled. The parked goroutine blocks on its job channel
+//     and picks up the next (task, fn, jc) instead of a fresh `go func` per
+//     steal. All strand goroutines exit when Run completes.
+//   - A stolen Task (and, via exec.Pool, its stack region) is recycled when
+//     its last strand finishes, after its kernel-size and stack-audit
+//     metrics were recorded.
+//
+// ForkN trees fork explicit leaf ranges rather than per-node closures, so a
+// range spawn carries (lo, hi, body) and its stolen execution re-enters the
+// same range walker — no allocation per internal tree node.
 package rws
 
 import (
+	"sync"
+
 	"rwsfs/internal/exec"
-	"rwsfs/internal/machine"
 	"rwsfs/internal/mem"
 )
 
@@ -30,7 +82,6 @@ import (
 type Task struct {
 	id     int64
 	stack  *exec.Stack
-	parent *Task // nil for the root task
 	stolen bool
 	// accesses counts timed word accesses made by strands of this task's
 	// kernel; a within-constant-factor proxy for the paper's task size |τ|
@@ -52,54 +103,122 @@ type joinCell struct {
 	addr      mem.Addr
 	childDone bool    // set when the spawned (right) side completed
 	parked    *strand // continuation waiting for childDone, if any
+	// refs counts outstanding releases before the cell may be recycled: the
+	// forking strand plus (when the spawn was stolen or idle-popped) the
+	// child strand that reports on it.
+	refs int8
 }
 
-// spawn is a deque entry: the stealable right child of a fork.
+// spawn is a deque entry: the stealable right child of a fork. Exactly one
+// of fn (a Fork/ForkHint closure) or body (a ForkN leaf-range walker over
+// [lo, hi)) is set.
 type spawn struct {
-	fn        func(*Ctx)
-	task      *Task // task whose kernel forked it
-	jc        *joinCell
+	fn     func(*Ctx)
+	body   func(i int, c *Ctx)
+	lo, hi int
+	hintFn func(lo, hi int) int
+	task   *Task // task whose kernel forked it
+	jc     *joinCell
 	stackHint int // words of stack a thief should give the stolen task
 }
 
-// reqKind enumerates the timed operations a strand asks the engine to
-// perform. Untimed bookkeeping (deque pushes/pops, stack segment allocation,
-// raw value access) is done by direct call while the strand holds control.
-type reqKind uint8
-
-const (
-	reqWork      reqKind = iota // charge work ticks
-	reqAccess                   // timed memory access (word or range)
-	reqChildDone                // timed write of a join flag + mark child done
-	reqPark                     // block until a join's childDone resumes us
-	reqFinish                   // strand completed (optionally reporting a join)
-	reqPanic                    // algorithm code panicked; re-raise in engine
-)
-
-// request travels strand -> engine; the engine replies by a wake message.
-type request struct {
-	kind  reqKind
-	work  machine.Tick
-	addr  mem.Addr
-	n     int
-	write bool
-	jc    *joinCell
-	pv    any // panic value for reqPanic
+// strandJob is one unit of kernel execution handed to a pooled strand
+// goroutine: the fields of a consumed spawn plus the task to run under.
+type strandJob struct {
+	task   *Task
+	fn     func(*Ctx)
+	body   func(i int, c *Ctx)
+	lo, hi int
+	hintFn func(lo, hi int) int
+	jc     *joinCell
 }
 
-// wake travels engine -> strand and tells the strand which processor it is
-// now executing on (it changes across park/resume).
+// strand is one schedulable thread of control: a pooled goroutine executing
+// part of a task's kernel, one strandJob at a time. A task has one strand
+// when created; additional strands appear when the owner's processor pops a
+// pending spawn of a parked task.
+//
+// The baton discipline admits at most one wake in flight, and a pooled
+// strand is handed its next job only after consuming the previous one, so
+// single-slot handoffs suffice for both channels and flags.
+type strand struct {
+	id   int64
+	task *Task
+
+	// resume passes the baton: the wake names the processor this strand
+	// resumes on. Buffered, so a finishing strand can queue a wake for
+	// itself (its own next job) before returning to its job loop. A channel
+	// rather than the cond: the Go runtime's direct send-to-waiter handoff
+	// is the cheapest goroutine switch available, and baton passes are the
+	// hot path.
+	resume chan wake
+
+	mu   sync.Mutex
+	cond sync.Cond // L = &mu; signaled on job handoff and shutdown
+	job      strandJob
+	hasJob   bool
+	closed   bool
+
+	// ctx is the per-job Ctx, embedded so starting a job allocates nothing.
+	ctx  Ctx
+	proc int // processor currently (or last) executing this strand
+}
+
+// wake passes the baton to a strand and tells it which processor it is now
+// executing on (it changes across park/resume).
 type wake struct {
 	proc int
 }
 
-// strand is one schedulable thread of control: a goroutine executing part of
-// a task's kernel. A task has one strand when created; additional strands
-// appear when the owner's processor pops a pending spawn of a parked task.
-type strand struct {
-	id     int64
-	task   *Task
-	req    chan request
-	resume chan wake
-	proc   int // processor currently (or last) executing this strand
+// sendWake passes the baton: the strand resumes on processor p.
+func (st *strand) sendWake(p int) {
+	st.resume <- wake{proc: p}
+}
+
+// recvWake blocks until the baton arrives and returns the processor.
+func (st *strand) recvWake() int {
+	w := <-st.resume
+	return w.proc
+}
+
+// sendJob hands the pooled goroutine its next job.
+func (st *strand) sendJob(job strandJob) {
+	st.mu.Lock()
+	st.job = job
+	st.hasJob = true
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+// waitJob blocks until a job arrives (job, true) or the engine shut the
+// strand down (_, false).
+func (st *strand) waitJob() (strandJob, bool) {
+	st.mu.Lock()
+	for !st.hasJob && !st.closed {
+		st.cond.Wait()
+	}
+	if !st.hasJob {
+		st.mu.Unlock()
+		return strandJob{}, false
+	}
+	job := st.job
+	st.hasJob = false
+	st.job = strandJob{}
+	st.mu.Unlock()
+	return job, true
+}
+
+// shut ends the goroutine's job loop at its next waitJob.
+func (st *strand) shut() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+// batonNote travels baton-holder -> engine goroutine when the run completes
+// or algorithm code panics; nil means clean completion.
+type batonNote struct {
+	proc int
+	pv   any // recovered panic value
 }

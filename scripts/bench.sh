@@ -5,20 +5,35 @@
 # Usage: scripts/bench.sh [extra go-test args]
 #
 # Runs `go test -bench=. -benchmem -count=3` on the two hot packages
-# (internal/machine: coherence core; internal/rws: engine step loop) and
-# keeps, per benchmark, the best ns/op of the three runs (min is the right
-# summary for noise on a shared host). The JSON also carries a frozen
-# "seed_reference" section: the same benchmarks measured against the
-# pre-refactor seed implementation (container/list LRU, map-based coherence
-# state, O(P) clock scan, slice-copy deques), recorded once in PR 1 so later
-# PRs can see the trajectory start.
+# (internal/machine: coherence core; internal/rws: engine step loop,
+# fork-join throughput and steal-heavy workloads) and keeps, per benchmark,
+# the best ns/op of the three runs (min is the right summary for noise on a
+# shared host). The JSON also carries a frozen "seed_reference" section: the
+# same benchmarks measured against the pre-refactor seed implementation
+# (container/list LRU, map-based coherence state, O(P) clock scan,
+# slice-copy deques), recorded once in PR 1 so later PRs can see the
+# trajectory start.
+#
+# Regression guard: after writing the new file, every benchmark that was
+# also tracked in the previous BENCH_rws.json is compared; if any ns/op
+# regressed more than 25%, the script exits non-zero (the new numbers are
+# still recorded so the regression is visible in the diff). Set
+# BENCH_ALLOW_REGRESSION=1 to downgrade the failure to a warning, e.g. when
+# a slower host is known to be the cause.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-3}"
 OUT="BENCH_rws.json"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+PREV="$(mktemp)"
+trap 'rm -f "$TMP" "$PREV"' EXIT
+
+if [ -f "$OUT" ]; then
+    cp "$OUT" "$PREV"
+else
+    : > "$PREV"
+fi
 
 go test ./internal/machine/ ./internal/rws/ -run '^$' -bench . -benchmem \
     -count="$COUNT" "$@" | tee "$TMP"
@@ -54,7 +69,9 @@ END {
     printf "    \"rwsfs/internal/machine.BenchmarkAccessBlock\":      {\"ns_per_op\": 299.8, \"bytes_per_op\": 52, \"allocs_per_op\": 1},\n"
     printf "    \"rwsfs/internal/machine.BenchmarkAccessBlockHit\":   {\"ns_per_op\": 14.80, \"bytes_per_op\": 0, \"allocs_per_op\": 0},\n"
     printf "    \"rwsfs/internal/machine.BenchmarkInvalidateOthers\": {\"ns_per_op\": 198.3, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
-    printf "    \"rwsfs/internal/rws.BenchmarkEngineStep\":           {\"ns_per_op\": 5380, \"bytes_per_op\": 103, \"allocs_per_op\": 3}\n"
+    printf "    \"rwsfs/internal/rws.BenchmarkEngineStep\":           {\"ns_per_op\": 5380, \"bytes_per_op\": 103, \"allocs_per_op\": 3},\n"
+    printf "    \"rwsfs/internal/rws.BenchmarkForkJoinThroughput\":   {\"ns_per_op\": 4141244, \"bytes_per_op\": 339792, \"allocs_per_op\": 3336},\n"
+    printf "    \"rwsfs/internal/rws.BenchmarkStealHeavy\":           {\"ns_per_op\": 2353229, \"bytes_per_op\": 452819, \"allocs_per_op\": 2017}\n"
     printf "  },\n"
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -70,3 +87,47 @@ END {
 ' "$TMP" > "$OUT"
 
 echo "wrote $OUT"
+
+# Regression guard: compare the new ns/op against the previous recording for
+# every benchmark tracked in both files' "benchmarks" sections.
+if [ -s "$PREV" ]; then
+    awk '
+    function record(file, dest,    line, q2, key, rest, v) {
+        inbench = 0
+        while ((getline line < file) > 0) {
+            if (line ~ /"benchmarks": \{/) { inbench = 1; continue }
+            if (!inbench) continue
+            if (line ~ /^  \}/) break
+            if (line !~ /"ns_per_op":/) continue
+            rest = substr(line, index(line, "\"") + 1)
+            q2 = index(rest, "\"")
+            if (q2 <= 1) continue
+            key = substr(rest, 1, q2 - 1)
+            v = substr(line, index(line, "\"ns_per_op\": ") + 13)
+            sub(/[,}].*/, "", v)
+            dest[key] = v + 0
+        }
+        close(file)
+    }
+    BEGIN {
+        record(ARGV[1], old)
+        record(ARGV[2], new)
+        bad = 0
+        for (key in old) {
+            if (!(key in new)) continue
+            if (new[key] > old[key] * 1.25) {
+                printf "REGRESSION %s: %.4g -> %.4g ns/op (+%.0f%%)\n", \
+                    key, old[key], new[key], (new[key]/old[key] - 1) * 100
+                bad = 1
+            }
+        }
+        exit bad
+    }' "$PREV" "$OUT" || {
+        if [ "${BENCH_ALLOW_REGRESSION:-0}" = "1" ]; then
+            echo "bench.sh: regression tolerated (BENCH_ALLOW_REGRESSION=1)" >&2
+        else
+            echo "bench.sh: tracked benchmark regressed >25% vs previous $OUT" >&2
+            exit 1
+        fi
+    }
+fi
