@@ -7,11 +7,20 @@
 //
 //	rwsim -alg matmul-la -n 64 -p 8 [-seed 1] [-B 16] [-M 4096]
 //	      [-b 10] [-s 20] [-budget -1] [-seq]
+//	      [-policy uniform|localized|stealhalf|affinity]
+//	      [-sockets 1] [-remote 0]
 //	      [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // Algorithms: matmul-ip, matmul-la, matmul-log, prefix, prefix-padded,
 // transpose, rm2bi, bi2rm, bi2rm-natural, bi2rm-rowgather, sort-merge,
 // sort-col, fft, listrank, conncomp.
+//
+// -policy selects the steal discipline (default: the paper's uniform
+// victim, one task per steal). -sockets partitions the processors into
+// that many sockets and -remote sets the cross-socket block-transfer cost
+// in ticks (0 = same as -b); the extra policy/topology metrics are printed
+// only when these flags leave their defaults, so default output is
+// unchanged.
 //
 // The profile flags exist so hot-path work on the simulator starts from a
 // real workload profile instead of guesswork.
@@ -42,6 +51,9 @@ func main() {
 	bCost := flag.Int64("b", 10, "cache miss cost (ticks)")
 	sCost := flag.Int64("s", 20, "steal cost (ticks)")
 	budget := flag.Int64("budget", -1, "steal budget (-1 = unlimited)")
+	policyName := flag.String("policy", "uniform", "steal policy: uniform, localized, stealhalf, affinity")
+	sockets := flag.Int("sockets", 1, "socket count (1 = the paper's flat machine)")
+	remote := flag.Int64("remote", 0, "cross-socket block transfer cost in ticks (0 = same as -b)")
 	seq := flag.Bool("seq", false, "also run p=1 baseline and report speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -81,6 +93,16 @@ func main() {
 		}()
 	}
 
+	pol, ok := rws.PolicyByName(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rwsim: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	if *remote != 0 && *sockets <= 1 {
+		fmt.Fprintln(os.Stderr, "rwsim: -remote requires -sockets > 1 (a flat machine has no remote transfers)")
+		os.Exit(2)
+	}
+
 	cfg := rws.DefaultConfig(*p)
 	cfg.Machine.B = *bWords
 	cfg.Machine.M = *mWords
@@ -89,14 +111,25 @@ func main() {
 	cfg.Machine.CostFailSteal = machine.Tick(*bCost)
 	cfg.Seed = *seed
 	cfg.StealBudget = *budget
+	cfg.Policy = pol
+	if *sockets > 1 {
+		cfg.Machine.Topology = machine.Topology{Sockets: *sockets, CostMissRemote: machine.Tick(*remote)}
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rwsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	e, root := mk(cfg)
 	res := e.Run(root)
-	report(*alg, *n, res)
+	report(*alg, *n, res, *policyName)
 
 	if *seq && *p > 1 {
 		c1 := cfg
 		c1.Machine.P = 1
+		// The sequential baseline is by definition a flat one-processor
+		// machine; keeping a multi-socket topology would fail validation.
+		c1.Machine.Topology = machine.Topology{}
 		e1, root1 := mk(c1)
 		r1 := e1.Run(root1)
 		fmt.Printf("%-24s %d\n", "seq makespan:", r1.Makespan)
@@ -140,7 +173,7 @@ func makers(alg string, n int) (harness.Maker, bool) {
 	return nil, false
 }
 
-func report(alg string, n int, r rws.Result) {
+func report(alg string, n int, r rws.Result, policy string) {
 	fmt.Printf("algorithm %s, n=%d, p=%d, B=%d, M=%d, b=%d, s=%d, seed-dependent schedule\n",
 		alg, n, r.Params.P, r.Params.B, r.Params.M, r.Params.CostMiss, r.Params.CostSteal)
 	rows := [][2]string{
@@ -157,6 +190,15 @@ func report(alg string, n int, r rws.Result) {
 		{"max transfers/block:", fmt.Sprint(r.BlockTransfersMax)},
 		{"root stack peak:", fmt.Sprint(r.RootStackPeak)},
 		{"stacks created/reused:", fmt.Sprintf("%d/%d", r.StacksCreated, r.StacksReused)},
+	}
+	// The policy/topology rows appear only off the defaults, keeping the
+	// paper-configuration output byte-identical to earlier releases.
+	if policy != "uniform" || !r.Params.Topology.Flat() {
+		rows = append(rows,
+			[2]string{"steal policy:", policy},
+			[2]string{"migrated spawns:", fmt.Sprint(r.SpawnsMigrated)},
+			[2]string{"sockets:", fmt.Sprint(max(r.Params.Topology.Sockets, 1))},
+			[2]string{"remote fetches:", fmt.Sprint(r.Totals.RemoteFetches)})
 	}
 	for _, row := range rows {
 		fmt.Printf("%-24s %s\n", row[0], row[1])

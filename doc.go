@@ -11,9 +11,48 @@
 // Entry points:
 //
 //   - internal/rws: the scheduler and the Ctx fork-join programming model
-//   - internal/harness: the E01..E14 experiment registry
+//   - internal/harness: the E01..E18 experiment registry
 //   - cmd/rwsim, cmd/experiments: command-line front ends
 //   - examples/: runnable walkthroughs
+//
+// # Steal policies and topology
+//
+// The paper fixes the stealing discipline to "uniform random victim, one
+// task per steal" on a flat machine; both halves are pluggable here so
+// experiments can ask how the false-sharing bounds shift under alternative
+// disciplines:
+//
+//   - rws.Config.Policy takes a rws.StealPolicy — Uniform (default,
+//     byte-identical to the paper's discipline), Localized (socket-biased
+//     victims), StealHalf (top half of the victim's deque per steal) or
+//     Affinity (prefer victims whose next-stolen task's blocks the thief
+//     still caches, per the coherence directory). Policies are stateless
+//     values drawing all randomness from the engine's per-run RNG (the
+//     "RNG ownership rule"), which is what keeps parallel experiment
+//     sweeps byte-identical to serial runs.
+//   - machine.Params.Topology partitions processors into sockets; block
+//     transfers whose last owner (a per-block directory record) sits in
+//     another socket stall for CostMissRemote instead of CostMiss and are
+//     counted as RemoteFetches. The flat default keeps provenance
+//     untracked and every metric unchanged.
+//
+// To add a fifth policy: implement StealPolicy (Name/Victim/Take) in
+// internal/rws/policy.go obeying the RNG ownership rule, register it in
+// Policies() — CLI flags, the E16/E18 sweeps and the invariant suite pick
+// it up from there — and pin a golden case in golden_test.go
+// (policyGoldenCases) so its schedule cannot drift silently.
+//
+// The policy layer is locked down by three test layers in internal/rws:
+// golden determinism cases per policy, a property-based invariant suite
+// (go test -run TestPolicyInvariants: spawn conservation, clock
+// monotonicity, budget ceilings, fast-path/lockstep equality over
+// randomized configs), and native fuzz targets with checked-in corpora —
+// run locally with
+//
+//	go test ./internal/rws/ -fuzz FuzzDeque -fuzztime 30s -run '^$'
+//	go test ./internal/machine/ -fuzz FuzzDirectory -fuzztime 30s -run '^$'
+//
+// (CI runs both for 10s plus a -race pass over ./internal/...).
 //
 // # Simulator hot path
 //

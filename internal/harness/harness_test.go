@@ -97,9 +97,13 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	// The sweep runner must render byte-identical tables for any worker
 	// count: runs are independent deterministic engines and results are
 	// ordered. E07 (nested p×seed sweep) and E03 (per-row configs) cover
-	// both batching shapes.
+	// both batching shapes; E16–E18 additionally pin the policy sweeps,
+	// whose disciplines consume the RNG differently per attempt — the
+	// StealPolicy RNG ownership rule (stateless policy values, all draws
+	// from the engine's per-run RNG) is what keeps a shared policy value
+	// from coupling concurrent runs' schedules.
 	defer SetWorkers(1)
-	for _, id := range []string{"E03", "E07"} {
+	for _, id := range []string{"E03", "E07", "E16", "E17", "E18"} {
 		ex, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("experiment %s missing", id)

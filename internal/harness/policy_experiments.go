@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"rwsfs/internal/alg/matmul"
+	"rwsfs/internal/alg/prefix"
+	"rwsfs/internal/analysis"
+	"rwsfs/internal/machine"
+	"rwsfs/internal/rws"
+)
+
+// The policy/topology experiments (E16–E18) compare the paper's uniform
+// stealing discipline against the pluggable alternatives on the
+// false-sharing metrics the analysis bounds. Every run owns its engine and
+// consumes only its own RNG (see the StealPolicy RNG ownership rule), so
+// the sweeps fan out across workers like the rest of the harness with
+// byte-identical output.
+
+// E16 compares the four steal policies on one false-sharing-heavy BP
+// workload over the flat machine.
+func E16(s Scale) Table {
+	n := 4096
+	if s == Quick {
+		n = 1024
+	}
+	mk := PrefixMaker(n, prefix.Config{Chunk: 1})
+	t := Table{
+		ID:    "E16",
+		Title: fmt.Sprintf("steal policies on prefix sums (n=%d, p=8, flat topology, avg of 3 seeds)", n),
+		Note: "Victim selection and take size are the policy knobs the paper fixes to (uniform, 1); " +
+			"this table compares the disciplines' steal and false-sharing profiles on identical work. " +
+			"Spawn counts must not vary: policies change who consumes a spawn, never how many exist.",
+		Header: []string{"policy", "S(avg)", "migrated", "blockMiss", "blockWait", "makespan"},
+	}
+	pols := rws.Policies()
+	var jobs []func() rws.Result
+	for _, pol := range pols {
+		base := rws.DefaultConfig(8)
+		base.Policy = pol
+		for seed := int64(1); seed <= 3; seed++ {
+			base, seed := base, seed
+			jobs = append(jobs, func() rws.Result { return runAt(mk, base, 8, -1, seed) })
+		}
+	}
+	results := runPar(jobs)
+	conserved := true
+	var spawns []int64
+	for pi, pol := range pols {
+		var st, mig, bm, bw, span int64
+		for si := 0; si < 3; si++ {
+			res := results[pi*3+si]
+			st += res.Steals
+			mig += res.SpawnsMigrated
+			bm += res.Totals.BlockMisses
+			bw += int64(res.Totals.BlockWait)
+			span += int64(res.Makespan)
+			if res.Spawns != res.Steals+res.InlinePops+res.IdlePops {
+				conserved = false
+			}
+			if si == 0 {
+				spawns = append(spawns, res.Spawns)
+			}
+		}
+		t.AddRow(pol.Name(), fmtF(float64(st)/3), fmtI(mig/3), fmtI(bm/3), fmtI(bw/3), fmtI(span/3))
+	}
+	t.Checked("every run conserves spawns (S + inline + idle pops)", conserved,
+		"consumption identity held for all policy runs")
+	sameSpawns := true
+	for _, sp := range spawns[1:] {
+		if sp != spawns[0] {
+			sameSpawns = false
+		}
+	}
+	t.Checked("spawn count is policy-invariant", sameSpawns,
+		fmt.Sprintf("all policies spawned %d tasks", spawns[0]))
+	return t
+}
+
+// E17 puts uniform and localized stealing on multi-socket topologies and
+// measures how victim locality shifts cross-socket block traffic.
+func E17(s Scale) Table {
+	n := 4096
+	if s == Quick {
+		n = 1024
+	}
+	mk := PrefixMaker(n, prefix.Config{Chunk: 1})
+	t := Table{
+		ID:    "E17",
+		Title: fmt.Sprintf("uniform vs localized stealing across socket topologies (prefix n=%d, p=8, remote=4b, avg of 3 seeds)", n),
+		Note: "Localized steals stay in the thief's socket 3 attempts in 4, so stolen tasks' blocks " +
+			"cross the interconnect less often; remoteFetch counts block transfers whose last owner " +
+			"was in another socket (always 0 on the flat machine).",
+		Header: []string{"sockets", "policy", "S(avg)", "remoteFetch", "blockMiss", "makespan"},
+	}
+	sockets := []int{1, 2, 4}
+	pols := []rws.StealPolicy{rws.Uniform{}, rws.Localized{}}
+	var jobs []func() rws.Result
+	for _, sk := range sockets {
+		for _, pol := range pols {
+			base := rws.DefaultConfig(8)
+			base.Policy = pol
+			if sk > 1 {
+				base.Machine.Topology = machine.Topology{Sockets: sk, CostMissRemote: 4 * base.Machine.CostMiss}
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				base, seed := base, seed
+				jobs = append(jobs, func() rws.Result { return runAt(mk, base, 8, -1, seed) })
+			}
+		}
+	}
+	results := runPar(jobs)
+	localizedNoWorse := true
+	k := 0
+	for _, sk := range sockets {
+		var remote [2]int64
+		for pi, pol := range pols {
+			var st, rf, bm, span int64
+			for si := 0; si < 3; si++ {
+				res := results[k]
+				k++
+				st += res.Steals
+				rf += res.Totals.RemoteFetches
+				bm += res.Totals.BlockMisses
+				span += int64(res.Makespan)
+			}
+			remote[pi] = rf
+			t.AddRow(fmtI(int64(sk)), pol.Name(), fmtF(float64(st)/3), fmtI(rf/3), fmtI(bm/3), fmtI(span/3))
+		}
+		if sk > 1 && remote[1] > remote[0] {
+			localizedNoWorse = false
+		}
+	}
+	t.Checked("flat topology has zero remote fetches", results[0].Totals.RemoteFetches == 0,
+		"provenance pricing is inert on the paper's machine")
+	t.Checked("localized stealing does not increase cross-socket traffic", localizedNoWorse,
+		"avg remote fetches, localized <= uniform, on every multi-socket topology")
+	return t
+}
+
+// E18 sweeps policy × (p, B) on the depth-n limited-access MM and checks
+// the Lemma 4.5 block-miss shape holds under every discipline.
+func E18(s Scale) Table {
+	n := 64 // BI layouts need power-of-two sides
+	if s == Quick {
+		n = 32
+	}
+	t := Table{
+		ID:    "E18",
+		Title: fmt.Sprintf("policy × (p, B) false-sharing sweep on depth-n MM (n=%d, M=256B, avg of 2 seeds)", n),
+		Note: "Lemma 4.5's O(S·B) block-miss bound is proved for uniform stealing; this sweep asks " +
+			"whether the alternative disciplines stay within the same shape (they should: the bound " +
+			"counts O(1) shared writable blocks per stolen task, a property of the algorithm, not the victim choice).",
+		Header: []string{"p", "B", "policy", "S(avg)", "blockMiss", "blk/(S·B)"},
+	}
+	pols := rws.Policies()
+	type point struct {
+		p, B int
+	}
+	points := []point{{4, 8}, {8, 8}, {4, 32}, {8, 32}}
+	var jobs []func() rws.Result
+	for _, pt := range points {
+		for _, pol := range pols {
+			base := rws.DefaultConfig(pt.p)
+			base.Machine.B = pt.B
+			base.Machine.M = 256 * pt.B
+			base.Policy = pol
+			mk := MMMaker(matmul.LimitedAccessDepthN, n, 4)
+			for seed := int64(1); seed <= 2; seed++ {
+				mk, base, pt, seed := mk, base, pt, seed
+				jobs = append(jobs, func() rws.Result { return runAt(mk, base, pt.p, -1, seed) })
+			}
+		}
+	}
+	results := runPar(jobs)
+	var ratios []float64
+	k := 0
+	for _, pt := range points {
+		cs := costs(machine.DefaultParams(pt.p))
+		cs.B = pt.B
+		for _, pol := range pols {
+			var st, bm int64
+			for si := 0; si < 2; si++ {
+				res := results[k]
+				k++
+				st += res.Steals
+				bm += res.Totals.BlockMisses
+			}
+			avgS := float64(st) / 2
+			avgB := float64(bm) / 2
+			perSB := math.NaN()
+			if avgS > 0 {
+				perSB = avgB / (analysis.BlockDelayPerSteal(avgS, cs))
+				ratios = append(ratios, perSB)
+			}
+			t.AddRow(fmtI(int64(pt.p)), fmtI(int64(pt.B)), pol.Name(), fmtF(avgS), fmtF(avgB), fmtF(perSB))
+		}
+	}
+	t.Checked("block misses stay O(S·B) under every policy", maxOf(ratios) <= 2,
+		fmt.Sprintf("worst blockMiss/(S·B) ratio %.2f across the sweep", maxOf(ratios)))
+	return t
+}

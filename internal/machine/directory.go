@@ -26,10 +26,14 @@ const dirPageLen = 1 << dirPageShift
 // dirPage holds the records of dirPageLen consecutive blocks. The two
 // bitsets are stored flat: entry i's words are bits[i*stride : i*stride+w]
 // (sharers) and bits[i*stride+w : i*stride+2w] (lost), with stride = 2w.
+// owner is the block's provenance — the processor that last fetched or
+// wrote it, -1 for none — and is materialized only on non-flat topologies,
+// where the machine consults it to price cross-socket transfers.
 type dirPage struct {
 	busyUntil []Tick
 	transfers []int64
 	bits      []uint64
+	owner     []int16
 }
 
 // dirArenaPages sets how many pages' backing storage one arena chunk holds:
@@ -40,14 +44,16 @@ const dirArenaPages = 4
 
 // directory is the paged per-block coherence directory.
 type directory struct {
-	w     int // uint64 words per bitset: ceil(P/64)
-	pages []*dirPage
+	w          int // uint64 words per bitset: ceil(P/64)
+	trackOwner bool
+	pages      []*dirPage
 
 	// Arena chunks that page materialization carves slices from.
-	pageSlab  []dirPage
-	tickArena []Tick
-	cntArena  []int64
-	bitsArena []uint64
+	pageSlab   []dirPage
+	tickArena  []Tick
+	cntArena   []int64
+	bitsArena  []uint64
+	ownerArena []int16
 }
 
 func newDirectory(p int) *directory {
@@ -74,6 +80,15 @@ func (d *directory) newPage() *dirPage {
 		d.bitsArena = make([]uint64, dirArenaPages*bitsLen)
 	}
 	page.bits, d.bitsArena = d.bitsArena[:bitsLen:bitsLen], d.bitsArena[bitsLen:]
+	if d.trackOwner {
+		if len(d.ownerArena) < dirPageLen {
+			d.ownerArena = make([]int16, dirArenaPages*dirPageLen)
+		}
+		page.owner, d.ownerArena = d.ownerArena[:dirPageLen:dirPageLen], d.ownerArena[dirPageLen:]
+		for i := range page.owner {
+			page.owner[i] = -1
+		}
+	}
 	return page
 }
 
@@ -118,6 +133,8 @@ func (r dirRef) clearSharer(p int) { r.sharers()[p>>6] &^= 1 << (uint(p) & 63) }
 
 func (r dirRef) lostHas(p int) bool { return r.lost()[p>>6]&(1<<(uint(p)&63)) != 0 }
 func (r dirRef) clearLost(p int)    { r.lost()[p>>6] &^= 1 << (uint(p) & 63) }
+
+func (r dirRef) sharerHas(p int) bool { return r.sharers()[p>>6]&(1<<(uint(p)&63)) != 0 }
 
 // clearSharerOf clears p's sharer bit for bid if the block has a record.
 // Used on natural eviction, where the record always exists (the victim was

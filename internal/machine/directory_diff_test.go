@@ -11,7 +11,10 @@ import (
 // refCoherence is the pre-refactor reference model of the coherence core:
 // container/list LRU caches, per-processor invalidated maps, busyUntil and
 // transfers maps, with accessBlock/invalidateOthers logic kept verbatim.
-// The directory/bitset machine must match it op-for-op.
+// The directory/bitset machine must match it op-for-op. The one extension
+// beyond the pre-refactor model is map-based topology pricing (socketOf /
+// owner), mirroring the paged owner arrays so multi-socket variants stay
+// differentially testable.
 type refCoherence struct {
 	pr          Params
 	caches      []*refList
@@ -19,6 +22,11 @@ type refCoherence struct {
 	busyUntil   map[mem.BlockID]Tick
 	transfers   map[mem.BlockID]int64
 	proc        []ProcCounters
+
+	// Topology pricing state; socketOf nil ⟺ flat.
+	socketOf   []int
+	remoteCost Tick
+	owner      map[mem.BlockID]int
 }
 
 type refList struct {
@@ -79,6 +87,14 @@ func newRefCoherence(pr Params) *refCoherence {
 		r.caches[i] = newRefList(pr.M / pr.B)
 		r.invalidated[i] = make(map[mem.BlockID]struct{})
 	}
+	if !pr.Topology.Flat() {
+		r.socketOf = make([]int, pr.P)
+		for p := range r.socketOf {
+			r.socketOf[p] = pr.Topology.SocketOf(p, pr.P)
+		}
+		r.remoteCost = pr.Topology.remoteCost(pr.CostMiss)
+		r.owner = make(map[mem.BlockID]int)
+	}
 	return r
 }
 
@@ -96,16 +112,24 @@ func (r *refCoherence) accessBlock(p int, bid mem.BlockID, write bool, now Tick)
 	} else {
 		c.CacheMisses++
 	}
+	cost := r.pr.CostMiss
+	if r.socketOf != nil {
+		if own, ok := r.owner[bid]; ok && r.socketOf[own] != r.socketOf[p] {
+			cost = r.remoteCost
+			c.RemoteFetches++
+		}
+		r.owner[bid] = p
+	}
 	start := now
 	if r.pr.Arbitration == ArbitrationFIFO {
 		if bu, ok := r.busyUntil[bid]; ok && bu > start {
 			c.BlockWait += bu - start
 			start = bu
 		}
-		r.busyUntil[bid] = start + r.pr.CostMiss
+		r.busyUntil[bid] = start + cost
 	}
-	c.MissStall += r.pr.CostMiss
-	delay := (start - now) + r.pr.CostMiss
+	c.MissStall += cost
+	delay := (start - now) + cost
 	r.transfers[bid]++
 	r.caches[p].insert(bid)
 	if write {
@@ -115,6 +139,9 @@ func (r *refCoherence) accessBlock(p int, bid mem.BlockID, write bool, now Tick)
 }
 
 func (r *refCoherence) invalidateOthers(p int, bid mem.BlockID) {
+	if r.socketOf != nil {
+		r.owner[bid] = p
+	}
 	for q := 0; q < r.pr.P; q++ {
 		if q == p {
 			continue
@@ -140,6 +167,10 @@ func TestDirectoryDifferential(t *testing.T) {
 		{"p8-free", Params{P: 8, M: 32, B: 4, CostMiss: 7, CostSteal: 9, CostFailSteal: 2, CostNode: 1, Arbitration: ArbitrationFree}},
 		// P=70 needs two bitset words per block: exercises multi-word masks.
 		{"p70-fifo", Params{P: 70, M: 16, B: 4, CostMiss: 3, CostSteal: 5, CostFailSteal: 1, CostNode: 1}},
+		// Two sockets with remote pricing: exercises the owner provenance
+		// arrays against the reference's owner map.
+		{"p8-2sock", Params{P: 8, M: 32, B: 4, CostMiss: 3, CostSteal: 5, CostFailSteal: 1, CostNode: 1,
+			Topology: Topology{Sockets: 2, CostMissRemote: 11}}},
 	}
 	for _, v := range variants {
 		v := v

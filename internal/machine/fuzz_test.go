@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"testing"
+
+	"rwsfs/internal/mem"
+)
+
+// FuzzDirectory differentially fuzzes the paged coherence directory (and
+// the machine's accessBlock core around it) against refCoherence, the
+// map-based model also used by TestDirectoryDifferential. The mode byte
+// selects FIFO/free arbitration (bit 0) and flat/two-socket topology with
+// remote pricing (bit 1), so the owner-provenance path fuzzes against the
+// reference owner map. Each op is a byte pair: the first selects
+// processor, write bit and a time increment; the second the block. Per-op
+// delays must match, and the full coherence state (residency, sharer
+// bits, lost bits, counters, transfer counts) is cross-checked at the
+// end. Seed corpus lives in testdata/fuzz/FuzzDirectory; CI runs a short
+// `-fuzz` pass on top.
+func FuzzDirectory(f *testing.F) {
+	f.Add(byte(0), byte(0), []byte{})
+	f.Add(byte(2), byte(0), []byte{0, 0, 1, 0, 2, 0, 3, 1})
+	f.Add(byte(7), byte(1), []byte{5, 3, 9, 3, 13, 3, 5, 7, 255, 255, 128, 64})
+	f.Add(byte(7), byte(2), []byte{5, 3, 9, 3, 13, 3, 4, 3, 12, 3, 5, 7})
+	// A longer mixed trace with eviction churn on a P=70 (two bitset
+	// words) machine, flat and two-socket.
+	long := make([]byte, 0, 120)
+	for i := 0; i < 60; i++ {
+		long = append(long, byte(i*11), byte(i*5))
+	}
+	f.Add(byte(69), byte(0), long)
+	f.Add(byte(69), byte(3), long)
+
+	f.Fuzz(func(t *testing.T, pSel, mode byte, ops []byte) {
+		pr := Params{
+			P: 1 + int(pSel)%80, M: 32, B: 4,
+			CostMiss: 3, CostSteal: 5, CostFailSteal: 2, CostNode: 1,
+		}
+		if mode&1 != 0 {
+			pr.Arbitration = ArbitrationFree
+		}
+		if mode&2 != 0 && pr.P >= 2 {
+			pr.Topology = Topology{Sockets: 2, CostMissRemote: 9}
+		}
+		m := MustNew(pr)
+		ref := newRefCoherence(pr)
+		// Working set larger than one cache (8 blocks) for eviction churn.
+		const nBlocks = 24
+		m.Alloc.Alloc(nBlocks * pr.B)
+		now := Tick(0)
+		for i := 0; i+1 < len(ops); i += 2 {
+			sel, blk := ops[i], ops[i+1]
+			p := int(sel) % pr.P
+			write := sel&1 != 0
+			bid := mem.BlockID(int(blk) % nBlocks)
+			got := m.accessBlock(p, bid, write, now)
+			want := ref.accessBlock(p, bid, write, now)
+			if got != want {
+				t.Fatalf("op %d: accessBlock(p=%d, bid=%d, write=%v, now=%d) delay = %d, reference %d",
+					i/2, p, bid, write, now, got, want)
+			}
+			now += 1 + Tick(sel>>5)
+		}
+		checkCoherenceState(t, len(ops)/2, m, ref, nBlocks)
+		for p := 0; p < pr.P; p++ {
+			if m.Proc[p] != ref.proc[p] {
+				t.Fatalf("proc %d counters = %+v, reference %+v", p, m.Proc[p], ref.proc[p])
+			}
+		}
+		gotTot, gotMax := m.BlockTransfers()
+		var wantTot, wantMax int64
+		for _, n := range ref.transfers {
+			wantTot += n
+			if n > wantMax {
+				wantMax = n
+			}
+		}
+		if gotTot != wantTot || gotMax != wantMax {
+			t.Fatalf("BlockTransfers = (%d, %d), reference (%d, %d)", gotTot, gotMax, wantTot, wantMax)
+		}
+	})
+}

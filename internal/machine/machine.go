@@ -21,6 +21,11 @@
 // lookup, no hashing, no steady-state allocation. A write's invalidation
 // broadcast iterates the sharer bitset, making it O(actual sharers) instead
 // of an O(P) scan over every cache.
+//
+// On a non-flat Topology the directory additionally records each block's
+// last owner (fetcher or writer); a transfer whose owner sits in another
+// socket is priced at the remote cost and counted as a RemoteFetch. The
+// flat default tracks nothing and charges exactly the paper's costs.
 package machine
 
 import (
@@ -61,6 +66,10 @@ type Params struct {
 	CostNode      Tick // e1-ish: work charged per O(1) DAG node, default 1
 	Arbitration   Arbitration
 	TrackWrites   bool // record per-address write counts (Property 4.1 checks)
+	// Topology partitions the processors into sockets with a distinct
+	// cross-socket transfer cost; the zero value is the paper's flat
+	// machine (see Topology).
+	Topology Topology
 }
 
 // DefaultParams returns a small, realistic configuration: 32 KiB caches of
@@ -95,7 +104,7 @@ func (pr Params) Validate() error {
 	case pr.CostNode <= 0:
 		return fmt.Errorf("machine: CostNode=%d", pr.CostNode)
 	}
-	return nil
+	return pr.Topology.validate(pr)
 }
 
 // ProcCounters aggregates one processor's activity.
@@ -112,6 +121,7 @@ type ProcCounters struct {
 	NodesExecuted     int64
 	AccessesTimed     int64 // timed word accesses issued (reads+writes)
 	InvalidationsSent int64 // writes by this proc that invalidated remote copies
+	RemoteFetches     int64 // block fetches served across a socket boundary (0 on flat topologies)
 }
 
 // Machine is the simulated multicore. It is not safe for concurrent use; the
@@ -129,6 +139,12 @@ type Machine struct {
 	dir *directory
 
 	Proc []ProcCounters
+
+	// socketOf maps processor → socket on a non-flat topology; nil when
+	// flat, which doubles as the "is topology pricing active" flag on the
+	// miss path. remoteCost is the effective cross-socket transfer stall.
+	socketOf   []int16
+	remoteCost Tick
 
 	// OnTransfer, when non-nil, observes every block fetch as it is charged
 	// (after the transfer count is updated). The scheduler uses it to audit
@@ -155,6 +171,14 @@ func New(pr Params) (*Machine, error) {
 	}
 	for i := range m.caches {
 		m.caches[i] = cache.New(pr.M / pr.B)
+	}
+	if !pr.Topology.Flat() {
+		m.socketOf = make([]int16, pr.P)
+		for p := range m.socketOf {
+			m.socketOf[p] = int16(pr.Topology.SocketOf(p, pr.P))
+		}
+		m.remoteCost = pr.Topology.remoteCost(pr.CostMiss)
+		m.dir.trackOwner = true
 	}
 	if pr.TrackWrites {
 		m.writeCounts = make(map[mem.Addr]int64)
@@ -227,17 +251,28 @@ func (m *Machine) accessBlock(p int, bid mem.BlockID, write bool, now Tick) Tick
 	} else {
 		c.CacheMisses++
 	}
-	// Fetch, with per-block serialization under FIFO arbitration.
+	// Fetch, with per-block serialization under FIFO arbitration. On a
+	// non-flat topology the transfer is priced by provenance: if the
+	// block's last owner sits in another socket the fetch crosses the
+	// interconnect and stalls for the remote cost instead.
+	cost := m.CostMiss
+	if m.socketOf != nil {
+		if own := r.pg.owner[r.i]; own >= 0 && m.socketOf[own] != m.socketOf[p] {
+			cost = m.remoteCost
+			c.RemoteFetches++
+		}
+		r.pg.owner[r.i] = int16(p)
+	}
 	start := now
 	if m.Arbitration == ArbitrationFIFO {
 		if bu := r.pg.busyUntil[r.i]; bu > start {
 			c.BlockWait += bu - start
 			start = bu
 		}
-		r.pg.busyUntil[r.i] = start + m.CostMiss
+		r.pg.busyUntil[r.i] = start + cost
 	}
-	c.MissStall += m.CostMiss
-	delay := (start - now) + m.CostMiss
+	c.MissStall += cost
+	delay := (start - now) + cost
 	r.pg.transfers[r.i]++
 	if m.OnTransfer != nil {
 		m.OnTransfer(bid)
@@ -259,6 +294,11 @@ func (m *Machine) accessBlock(p int, bid mem.BlockID, write bool, now Tick) Tick
 // Each victim gains a lost-bit (its next access is a block miss).
 func (m *Machine) invalidateOthers(p int, bid mem.BlockID) {
 	r := m.dir.entry(bid)
+	if m.socketOf != nil {
+		// A write makes p the block's exclusive owner: later fetches are
+		// served (and priced) from p's socket.
+		r.pg.owner[r.i] = int16(p)
+	}
 	sh := r.sharers()
 	lost := r.lost()
 	sent := int64(0)
@@ -301,8 +341,45 @@ func (m *Machine) Totals() ProcCounters {
 		t.NodesExecuted += c.NodesExecuted
 		t.AccessesTimed += c.AccessesTimed
 		t.InvalidationsSent += c.InvalidationsSent
+		t.RemoteFetches += c.RemoteFetches
 	}
 	return t
+}
+
+// SocketOf returns processor p's socket index (0 on a flat topology).
+func (m *Machine) SocketOf(p int) int {
+	if m.socketOf == nil {
+		return 0
+	}
+	return int(m.socketOf[p])
+}
+
+// SocketSpan returns the half-open processor range [lo, hi) sharing p's
+// socket; on a flat topology that is [0, P).
+func (m *Machine) SocketSpan(p int) (lo, hi int) {
+	return m.Topology.SocketSpan(p, m.P)
+}
+
+// SharesBlock reports whether processor p currently holds the block
+// containing a — the directory's sharer bit, kept in lockstep with cache
+// residency. Steal policies use it as the affinity signal: a sharer of a
+// task's blocks can run the task without re-fetching them.
+func (m *Machine) SharesBlock(p int, a mem.Addr) bool {
+	r := m.dir.peek(m.Mem.Block(a))
+	return r.pg != nil && r.sharerHas(p)
+}
+
+// BlockOwner returns the processor that last fetched or wrote the block
+// containing a, or -1 when untracked (flat topology) or never touched.
+func (m *Machine) BlockOwner(a mem.Addr) int {
+	if m.socketOf == nil {
+		return -1
+	}
+	r := m.dir.peek(m.Mem.Block(a))
+	if r.pg == nil {
+		return -1
+	}
+	return int(r.pg.owner[r.i])
 }
 
 // BlockTransfers returns the total number of block fetches (Definition 4.1's

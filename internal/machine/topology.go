@@ -1,0 +1,79 @@
+package machine
+
+import "fmt"
+
+// Topology describes the machine's socket layout, an extension of the
+// paper's flat model: the P processors are partitioned into Sockets
+// contiguous groups of equal size (the last socket may be short when
+// Sockets does not divide P). Block transfers whose provider — the
+// processor that last fetched or wrote the block — sits in a different
+// socket than the requester cost CostMissRemote ticks instead of CostMiss,
+// modelling the cross-interconnect hop of a NUMA/multi-socket machine.
+//
+// The zero value is the flat machine of the paper: one socket, every
+// transfer at CostMiss, and no per-block provenance tracking at all, so
+// flat-topology runs are byte-identical to the pre-topology simulator.
+type Topology struct {
+	// Sockets is the number of sockets; 0 or 1 means flat.
+	Sockets int
+	// CostMissRemote is the stall for a block transfer that crosses a
+	// socket boundary; 0 means CostMiss (no NUMA penalty). Must be >=
+	// CostMiss when set: remote memory is never faster than local.
+	CostMissRemote Tick
+}
+
+// Flat reports whether the topology is the paper's single-socket machine.
+func (t Topology) Flat() bool { return t.Sockets <= 1 }
+
+// validate checks the topology against the machine's other parameters.
+func (t Topology) validate(pr Params) error {
+	switch {
+	case t.Sockets < 0:
+		return fmt.Errorf("machine: Sockets=%d", t.Sockets)
+	case t.Flat():
+		if t.CostMissRemote != 0 {
+			return fmt.Errorf("machine: CostMissRemote=%d set on a flat topology", t.CostMissRemote)
+		}
+		return nil
+	case t.Sockets > pr.P:
+		return fmt.Errorf("machine: Sockets=%d > P=%d", t.Sockets, pr.P)
+	case t.CostMissRemote != 0 && t.CostMissRemote < pr.CostMiss:
+		return fmt.Errorf("machine: CostMissRemote=%d < CostMiss=%d", t.CostMissRemote, pr.CostMiss)
+	}
+	return nil
+}
+
+// remoteCost returns the effective cross-socket transfer cost.
+func (t Topology) remoteCost(costMiss Tick) Tick {
+	if t.CostMissRemote > 0 {
+		return t.CostMissRemote
+	}
+	return costMiss
+}
+
+// procsPerSocket returns the size of each (non-final) socket.
+func (t Topology) procsPerSocket(p int) int {
+	return (p + t.Sockets - 1) / t.Sockets
+}
+
+// SocketOf returns processor p's socket index (0 on a flat topology).
+func (t Topology) SocketOf(p, procs int) int {
+	if t.Flat() {
+		return 0
+	}
+	return p / t.procsPerSocket(procs)
+}
+
+// SocketSpan returns the half-open processor range [lo, hi) of p's socket.
+func (t Topology) SocketSpan(p, procs int) (lo, hi int) {
+	if t.Flat() {
+		return 0, procs
+	}
+	per := t.procsPerSocket(procs)
+	lo = (p / per) * per
+	hi = lo + per
+	if hi > procs {
+		hi = procs
+	}
+	return lo, hi
+}

@@ -1,0 +1,151 @@
+package machine
+
+import "testing"
+
+func TestTopologyValidate(t *testing.T) {
+	bads := []Params{
+		func() Params { p := small(4); p.Topology = Topology{Sockets: -1}; return p }(),
+		func() Params { p := small(4); p.Topology = Topology{Sockets: 8}; return p }(),                    // more sockets than procs
+		func() Params { p := small(4); p.Topology = Topology{Sockets: 2, CostMissRemote: 5}; return p }(), // remote < CostMiss
+		func() Params { p := small(4); p.Topology = Topology{CostMissRemote: 40}; return p }(),            // remote cost on flat
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: bad topology validated: %+v", i, b.Topology)
+		}
+	}
+	goods := []Topology{
+		{},
+		{Sockets: 1},
+		{Sockets: 2},
+		{Sockets: 2, CostMissRemote: 40},
+		{Sockets: 4, CostMissRemote: 10},
+	}
+	for i, tp := range goods {
+		p := small(4)
+		p.Topology = tp
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d: good topology rejected: %v", i, err)
+		}
+	}
+}
+
+func TestTopologySocketPartition(t *testing.T) {
+	// 2 sockets over 8 procs: [0..4) and [4..8).
+	tp := Topology{Sockets: 2}
+	for p := 0; p < 8; p++ {
+		want := 0
+		if p >= 4 {
+			want = 1
+		}
+		if got := tp.SocketOf(p, 8); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", p, got, want)
+		}
+	}
+	// 3 sockets over 8 procs: ceil(8/3)=3 → [0,3), [3,6), [6,8): the last
+	// socket is short.
+	tp = Topology{Sockets: 3}
+	spans := map[int][2]int{0: {0, 3}, 3: {3, 6}, 7: {6, 8}}
+	for p, want := range spans {
+		lo, hi := tp.SocketSpan(p, 8)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("SocketSpan(%d) = [%d,%d), want [%d,%d)", p, lo, hi, want[0], want[1])
+		}
+	}
+	// Flat: one span covering everything.
+	if lo, hi := (Topology{}).SocketSpan(5, 8); lo != 0 || hi != 8 {
+		t.Errorf("flat SocketSpan = [%d,%d), want [0,8)", lo, hi)
+	}
+}
+
+// TestRemoteFetchPricing pins the provenance rule: a fetch whose last owner
+// sits in another socket stalls for CostMissRemote, and only those fetches
+// count as RemoteFetches.
+func TestRemoteFetchPricing(t *testing.T) {
+	pr := small(4) // CostMiss=10
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40}
+	m := MustNew(pr)
+
+	// Cold fetch: no owner yet, local price.
+	if d := m.Access(0, 0, false, 0); d != 10 {
+		t.Errorf("cold fetch delay %d, want 10", d)
+	}
+	// Same-socket fetch (owner 0, requester 1): local price.
+	if d := m.Access(1, 0, false, 100); d != 10 {
+		t.Errorf("same-socket fetch delay %d, want 10", d)
+	}
+	// Cross-socket fetch (owner 1, requester 2): remote price.
+	if d := m.Access(2, 0, false, 200); d != 40 {
+		t.Errorf("cross-socket fetch delay %d, want 40", d)
+	}
+	if got := m.Proc[2].RemoteFetches; got != 1 {
+		t.Errorf("P2 remote fetches = %d, want 1", got)
+	}
+	if got := m.Totals().RemoteFetches; got != 1 {
+		t.Errorf("total remote fetches = %d, want 1", got)
+	}
+	// Ownership moved to P2's socket: P3 fetches locally.
+	if d := m.Access(3, 0, false, 300); d != 10 {
+		t.Errorf("post-move same-socket fetch delay %d, want 10", d)
+	}
+	if got := m.BlockOwner(0); got != 3 {
+		t.Errorf("BlockOwner = %d, want 3", got)
+	}
+}
+
+// TestWriteMovesOwnership pins the write rule: a write (hit or miss) makes
+// the writer the block's owner even without a fetch.
+func TestWriteMovesOwnership(t *testing.T) {
+	pr := small(4)
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40}
+	m := MustNew(pr)
+	m.Access(0, 0, false, 0)  // owner 0 (socket 0)
+	m.Access(1, 0, false, 10) // shares, owner 1 (socket 0)
+	m.Access(1, 0, true, 20)  // write hit: still owner 1
+	if got := m.BlockOwner(0); got != 1 {
+		t.Errorf("owner after write hit = %d, want 1", got)
+	}
+	// P0 was invalidated; its re-fetch is same-socket (owner 1).
+	if d := m.Access(0, 0, false, 30); d != 10 {
+		t.Errorf("same-socket re-fetch delay %d, want 10", d)
+	}
+	// P2 (socket 1) fetches across: remote.
+	if d := m.Access(2, 0, false, 40); d != 40 {
+		t.Errorf("cross-socket fetch delay %d, want 40", d)
+	}
+}
+
+// TestFlatTopologyUntracked: on the flat default the directory carries no
+// owner state and BlockOwner reports -1.
+func TestFlatTopologyUntracked(t *testing.T) {
+	m := MustNew(small(2))
+	m.Access(0, 0, true, 0)
+	if got := m.BlockOwner(0); got != -1 {
+		t.Errorf("flat BlockOwner = %d, want -1", got)
+	}
+	if got := m.Totals().RemoteFetches; got != 0 {
+		t.Errorf("flat remote fetches = %d, want 0", got)
+	}
+}
+
+func TestSharesBlock(t *testing.T) {
+	m := MustNew(small(2))
+	m.Access(0, 0, false, 0)
+	if !m.SharesBlock(0, 5) { // word 5 is in block 0
+		t.Error("P0 should share block 0 after fetching it")
+	}
+	if m.SharesBlock(1, 5) {
+		t.Error("P1 never touched block 0")
+	}
+	m.Access(1, 0, true, 10) // invalidates P0
+	if m.SharesBlock(0, 5) {
+		t.Error("P0's copy was invalidated")
+	}
+	if !m.SharesBlock(1, 5) {
+		t.Error("P1 holds the block after its write")
+	}
+	// Never-touched block: no directory record at all.
+	if m.SharesBlock(0, 1<<20) {
+		t.Error("untouched block cannot be shared")
+	}
+}

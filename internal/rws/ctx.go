@@ -201,6 +201,11 @@ func (c *Ctx) finishStrand(jc *joinCell) {
 // across Fork and joins (usurpations).
 func (c *Ctx) Proc() int { return c.proc }
 
+// Socket returns the socket of the processor currently executing this
+// strand (0 on the default flat topology). Topology-aware algorithms can
+// use it to place data near their execution.
+func (c *Ctx) Socket() int { return c.e.mach.SocketOf(c.proc) }
+
 // Task returns the task (stolen unit) whose kernel this strand belongs to.
 func (c *Ctx) Task() *Task { return c.t }
 
@@ -373,7 +378,7 @@ func (c *Ctx) forkEpilogue(sp *spawn, jc *joinCell, seg exec.Seg) {
 		}
 		c.e.releaseJoin(jc)
 	}
-	c.Node() // the join node's O(1) work
+	c.Node()    // the join node's O(1) work
 	c.Free(seg) // via Ctx.Free: the first-fit free list is shared task state
 }
 

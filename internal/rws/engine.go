@@ -15,6 +15,11 @@ type Config struct {
 	// Seed drives the single RNG used for victim selection; runs are
 	// reproducible bit-for-bit given (Config, root function).
 	Seed int64
+	// Policy selects steal victims and the per-steal take size; nil means
+	// Uniform{}, the paper's discipline. Policies must obey the RNG
+	// ownership rule (see StealPolicy): stateless values drawing all
+	// randomness from the engine's seeded RNG.
+	Policy StealPolicy
 	// StealBudget caps the number of successful steals; < 0 means unlimited.
 	// Several lemmas (3.1, 4.6, 4.7) bound costs as a function of the steal
 	// count S, so experiments sweep S directly via this knob.
@@ -60,6 +65,11 @@ type Result struct {
 	Spawns       int64 // stealable tasks created
 	TasksStolen  int64 // == Steals
 	Usurpations  int64
+	// SpawnsMigrated counts queued tasks a multi-take policy (StealHalf)
+	// moved to the thief's deque beyond the one that started executing;
+	// they are consumed later like any queued task, so spawn conservation
+	// (Spawns == Steals + InlinePops + IdlePops) is unaffected.
+	SpawnsMigrated int64
 	// Every spawn is consumed exactly once; the three disjoint ways:
 	InlinePops int64 // owner popped its own spawn at the fork's join point
 	IdlePops   int64 // an idle processor drained its own queue bottom
@@ -91,10 +101,12 @@ type Result struct {
 // or one strand goroutine (see the package comment's run-ahead protocol).
 // No Engine state is locked; the baton's channel handoffs order everything.
 type Engine struct {
-	cfg  Config
-	mach *machine.Machine
-	pool *exec.Pool
-	rng  *rand.Rand
+	cfg    Config
+	mach   *machine.Machine
+	pool   *exec.Pool
+	rng    *rand.Rand
+	policy StealPolicy
+	view   PolicyView
 
 	// sched tracks per-processor clocks in an indexed min-heap so picking
 	// the next processor is O(log P); clock aliases sched's backing slice.
@@ -142,6 +154,7 @@ type Engine struct {
 	inlinePops  int64
 	idlePops    int64
 	usurpations int64
+	migrated    int64
 	stolenSizes []int64
 }
 
@@ -170,7 +183,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		fastPath:    !cfg.DisableFastPath,
 		baton:       make(chan batonNote, 1),
 		stealBudget: cfg.StealBudget,
+		policy:      cfg.Policy,
 	}
+	if e.policy == nil {
+		e.policy = Uniform{}
+	}
+	e.view = PolicyView{e: e}
 	if cfg.StealBudget >= 0 {
 		// One entry per stolen task; tightly budgeted runs never regrow the
 		// slice. Capped so an effectively-unlimited budget does not reserve
@@ -302,7 +320,12 @@ func (e *Engine) handoff() {
 	}
 }
 
-// stealAttempt performs one steal attempt by idle processor p.
+// stealAttempt performs one steal attempt by idle processor p. Victim
+// choice and the per-steal take size are delegated to the configured
+// StealPolicy; the attempt protocol itself — one victim draw per attempt
+// (before the budget check, so RNG consumption does not depend on the
+// remaining budget), one CostSteal or CostFailSteal charge, one budget
+// decrement per successful steal regardless of take size — is fixed here.
 func (e *Engine) stealAttempt(p int) {
 	pc := &e.mach.Proc[p]
 	if e.mach.P == 1 {
@@ -311,13 +334,14 @@ func (e *Engine) stealAttempt(p int) {
 		e.clock[p] += e.mach.CostFailSteal
 		return
 	}
-	// Victim uniform over the other p-1 processors.
-	v := e.rng.Intn(e.mach.P - 1)
-	if v >= p {
-		v++
+	v := e.policy.Victim(&e.view, p, e.rng)
+	if v == p || v < 0 || v >= e.mach.P {
+		panic(fmt.Sprintf("rws: policy %q chose invalid victim %d for thief %d of %d",
+			e.policy.Name(), v, p, e.mach.P))
 	}
 	if e.stealBudget != 0 {
-		if sp := e.popTop(v); sp != nil {
+		if n := e.deques[v].size(); n > 0 {
+			sp := e.popTop(v)
 			if e.stealBudget > 0 {
 				e.stealBudget--
 			}
@@ -325,6 +349,29 @@ func (e *Engine) stealAttempt(p int) {
 			pc.StealsOK++
 			pc.StealTicks += e.mach.CostSteal
 			e.steals++
+			if k := e.policy.Take(n); k > 1 {
+				// Multi-take: the tasks beyond the first migrate to the
+				// thief's own (empty — it just failed popOwnBottom) deque,
+				// oldest nearest the top, preserving their steal order.
+				// Each pop consumes the original spawn (the forker's
+				// join-decision recycling assumes a popped spawn's fields
+				// were copied out) and re-queues a migrant copy; direct
+				// deque pushes, since migration creates no new spawns.
+				if k > n {
+					k = n
+				}
+				for i := 1; i < k; i++ {
+					sp := e.popTop(v)
+					if !sp.migrant {
+						cp := e.getSpawn()
+						*cp = *sp
+						cp.migrant = true
+						sp = cp
+					}
+					e.deques[p].pushBottom(sp)
+					e.migrated++
+				}
+			}
 			e.startSpawn(p, sp, true)
 			return
 		}
@@ -351,6 +398,11 @@ func (e *Engine) startSpawn(p int, sp *spawn, stolen bool) {
 	st := e.newStrand(task, strandJob{
 		fn: sp.fn, body: sp.body, lo: sp.lo, hi: sp.hi, hintFn: sp.hintFn, jc: sp.jc,
 	})
+	if sp.migrant {
+		// No forking strand holds a migrant copy; recycle it here, its
+		// fields now copied into the job.
+		e.putSpawn(sp)
+	}
 	st.proc = p
 	e.running[p] = st
 }
@@ -527,7 +579,8 @@ func (e *Engine) pushBottom(p int, sp *spawn) {
 }
 
 // popBottomIf removes sp from the bottom of p's deque iff it is still there
-// (i.e. it was not stolen and not popped by the idle-path).
+// (i.e. it was not stolen, not popped by the idle-path, and not migrated to
+// another deque by a multi-take steal policy).
 func (e *Engine) popBottomIf(p int, sp *spawn) bool {
 	if e.deques[p].popBottomIf(sp) {
 		e.inlinePops++
@@ -562,6 +615,7 @@ func (e *Engine) collect() Result {
 		Spawns:              e.spawns,
 		TasksStolen:         e.steals,
 		Usurpations:         e.usurpations,
+		SpawnsMigrated:      e.migrated,
 		InlinePops:          e.inlinePops,
 		IdlePops:            e.idlePops,
 		BlockTransfersTotal: total,

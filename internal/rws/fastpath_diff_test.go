@@ -23,8 +23,9 @@ func TestFastPathDifferential(t *testing.T) {
 		run   func(*Ctx, mem.Addr)
 	}
 	var cases []workload
-	// Every pinned golden case doubles as a differential case.
-	for _, g := range goldenCases() {
+	// Every pinned golden case — including the per-policy ones — doubles
+	// as a differential case.
+	for _, g := range append(goldenCases(), policyGoldenCases()...) {
 		cases = append(cases, workload{name: "golden-" + g.name, cfg: g.cfg(), words: g.words, run: g.workload})
 	}
 	// A steal-budgeted, audit-enabled run across several seeds: the audit

@@ -1,6 +1,7 @@
 package rws
 
 import (
+	"reflect"
 	"testing"
 
 	"rwsfs/internal/machine"
@@ -26,6 +27,7 @@ type golden struct {
 	inlinePops    int64
 	idlePops      int64
 	usurpations   int64
+	migrated      int64
 	transfersTot  int64
 	transfersMax  int64
 	maxWriteCount int64
@@ -161,10 +163,97 @@ func goldenCases() []golden {
 	}
 }
 
-// TestGoldenDeterminism replays the three pinned runs and compares every
-// externally observable metric against the recorded reference values.
+// policyGoldenCases pins one run per non-default steal policy, on workloads
+// chosen to exercise each policy's distinguishing path: Localized on a
+// two-socket topology (remote fetches priced 4x), StealHalf on a wide
+// ForkN (deep deques make multi-take migrations frequent), Affinity on the
+// false-sharing-heavy adjacent-write workload (warm directory sharer bits).
+// Values were recorded from the introducing implementation and pin policy
+// semantics against drift, exactly like the pre-refactor goldens pin
+// Uniform's.
+func policyGoldenCases() []golden {
+	return []golden{
+		{
+			name: "localized-2sock-p8",
+			cfg: func() Config {
+				c := DefaultConfig(8)
+				c.Seed = 71
+				c.Policy = Localized{}
+				c.Machine.Topology = machine.Topology{Sockets: 2, CostMissRemote: 40}
+				return c
+			},
+			words: 512,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(96, func(j int, c *Ctx) {
+					c.Work(machine.Tick(2 + j%9))
+					c.StoreInt(base+mem.Addr(j*4%512), int64(j))
+					c.LoadInt(base + mem.Addr((j*4+128)%512))
+				})
+			},
+			makespan: 718,
+			totals: machine.ProcCounters{WorkTicks: 949, CacheMisses: 113, BlockMisses: 14,
+				MissStall: 2170, BlockWait: 423, StealsOK: 22, StealsFail: 179, StealTicks: 2230,
+				Usurpations: 20, NodesExecuted: 190, AccessesTimed: 404, InvalidationsSent: 65,
+				RemoteFetches: 30},
+			steals: 22, failedSteals: 179, spawns: 95, inlinePops: 73, idlePops: 0, usurpations: 20,
+			migrated: 0, transfersTot: 127, transfersMax: 6, maxWriteCount: -1,
+		},
+		{
+			name: "stealhalf-p6",
+			cfg: func() Config {
+				c := DefaultConfig(6)
+				c.Seed = 58
+				c.Policy = StealHalf{}
+				return c
+			},
+			words: 256,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(128, func(j int, c *Ctx) {
+					c.Work(machine.Tick(1 + j%5))
+					c.StoreInt(base+mem.Addr(j*2%256), int64(j))
+				})
+			},
+			makespan: 524,
+			totals: machine.ProcCounters{WorkTicks: 763, CacheMisses: 60, BlockMisses: 10,
+				MissStall: 700, BlockWait: 16, StealsOK: 24, StealsFail: 120, StealTicks: 1680,
+				Usurpations: 17, NodesExecuted: 254, AccessesTimed: 407, InvalidationsSent: 43},
+			steals: 24, failedSteals: 120, spawns: 127, inlinePops: 102, idlePops: 1, usurpations: 17,
+			migrated: 10, transfersTot: 70, transfersMax: 7, maxWriteCount: -1,
+		},
+		{
+			name: "affinity-p4",
+			cfg: func() Config {
+				c := DefaultConfig(4)
+				c.Seed = 42
+				c.Policy = Affinity{}
+				return c
+			},
+			words: 256,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(128, func(j int, c *Ctx) {
+					c.Work(3)
+					c.StoreInt(base+mem.Addr(j), int64(j))
+					c.LoadInt(base + mem.Addr((j+1)%128))
+				})
+			},
+			// Same workload and seed as fs-forkn-p4 under Uniform: affinity
+			// steers thieves toward tasks whose blocks they cache, and the
+			// block misses drop 15 → 5 on this run.
+			makespan: 531,
+			totals: machine.ProcCounters{WorkTicks: 894, CacheMisses: 35, BlockMisses: 5,
+				MissStall: 400, BlockWait: 37, StealsOK: 11, StealsFail: 58, StealTicks: 800,
+				Usurpations: 8, NodesExecuted: 254, AccessesTimed: 521, InvalidationsSent: 18},
+			steals: 11, failedSteals: 58, spawns: 127, inlinePops: 116, idlePops: 0, usurpations: 8,
+			migrated: 0, transfersTot: 40, transfersMax: 9, maxWriteCount: -1,
+		},
+	}
+}
+
+// TestGoldenDeterminism replays the pinned runs — the pre-refactor Uniform
+// cases plus one per steal policy — and compares every externally
+// observable metric against the recorded reference values.
 func TestGoldenDeterminism(t *testing.T) {
-	for _, g := range goldenCases() {
+	for _, g := range append(goldenCases(), policyGoldenCases()...) {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
 			e := MustNewEngine(g.cfg())
@@ -188,6 +277,9 @@ func TestGoldenDeterminism(t *testing.T) {
 			if res.Usurpations != g.usurpations {
 				t.Errorf("Usurpations = %d, golden %d", res.Usurpations, g.usurpations)
 			}
+			if res.SpawnsMigrated != g.migrated {
+				t.Errorf("SpawnsMigrated = %d, golden %d", res.SpawnsMigrated, g.migrated)
+			}
 			if res.BlockTransfersTotal != g.transfersTot || res.BlockTransfersMax != g.transfersMax {
 				t.Errorf("BlockTransfers = %d total / %d max, golden %d/%d",
 					res.BlockTransfersTotal, res.BlockTransfersMax, g.transfersTot, g.transfersMax)
@@ -198,14 +290,40 @@ func TestGoldenDeterminism(t *testing.T) {
 			if t.Failed() {
 				// Emit a ready-to-paste literal so re-pinning after an
 				// *intentional* semantic change is mechanical.
-				t.Logf("observed: makespan: %d,\ntotals: machine.ProcCounters{WorkTicks: %d, CacheMisses: %d, BlockMisses: %d, MissStall: %d, BlockWait: %d, StealsOK: %d, StealsFail: %d, StealTicks: %d, Usurpations: %d, NodesExecuted: %d, AccessesTimed: %d, InvalidationsSent: %d},\nsteals: %d, failedSteals: %d, spawns: %d, inlinePops: %d, idlePops: %d, usurpations: %d,\ntransfersTot: %d, transfersMax: %d, maxWriteCount: %d,",
+				t.Logf("observed: makespan: %d,\ntotals: machine.ProcCounters{WorkTicks: %d, CacheMisses: %d, BlockMisses: %d, MissStall: %d, BlockWait: %d, StealsOK: %d, StealsFail: %d, StealTicks: %d, Usurpations: %d, NodesExecuted: %d, AccessesTimed: %d, InvalidationsSent: %d, RemoteFetches: %d},\nsteals: %d, failedSteals: %d, spawns: %d, inlinePops: %d, idlePops: %d, usurpations: %d, migrated: %d,\ntransfersTot: %d, transfersMax: %d, maxWriteCount: %d,",
 					res.Makespan,
 					res.Totals.WorkTicks, res.Totals.CacheMisses, res.Totals.BlockMisses,
 					res.Totals.MissStall, res.Totals.BlockWait, res.Totals.StealsOK,
 					res.Totals.StealsFail, res.Totals.StealTicks, res.Totals.Usurpations,
 					res.Totals.NodesExecuted, res.Totals.AccessesTimed, res.Totals.InvalidationsSent,
+					res.Totals.RemoteFetches,
 					res.Steals, res.FailedSteals, res.Spawns, res.InlinePops, res.IdlePops,
-					res.Usurpations, res.BlockTransfersTotal, res.BlockTransfersMax, res.MaxWriteCount)
+					res.Usurpations, res.SpawnsMigrated, res.BlockTransfersTotal, res.BlockTransfersMax, res.MaxWriteCount)
+			}
+		})
+	}
+}
+
+// TestUniformExplicitMatchesDefault is the cross-policy differential: an
+// engine with Policy: Uniform{} set explicitly must reproduce the
+// nil-policy runs — and therefore the pre-refactor goldens — bit-for-bit.
+// The policy extraction must not have changed the default discipline's RNG
+// consumption or action order in any way.
+func TestUniformExplicitMatchesDefault(t *testing.T) {
+	for _, g := range goldenCases() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			run := func(pol StealPolicy) Result {
+				cfg := g.cfg()
+				cfg.Policy = pol
+				e := MustNewEngine(cfg)
+				base := e.Machine().Alloc.Alloc(g.words)
+				return e.Run(func(c *Ctx) { g.workload(c, base) })
+			}
+			def := run(nil)
+			uni := run(Uniform{})
+			if !reflect.DeepEqual(def, uni) {
+				t.Errorf("explicit Uniform diverged from default policy:\ndefault: %+v\nuniform: %+v", def, uni)
 			}
 		})
 	}

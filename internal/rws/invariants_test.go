@@ -1,0 +1,205 @@
+package rws
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
+)
+
+// invariantConfig is one randomized (machine, schedule, workload) point of
+// the property suite.
+type invariantConfig struct {
+	cfg    Config
+	leaves int
+	shape  int64 // seed for the workload's fork-tree shape
+}
+
+// randomInvariantConfig draws a small but varied configuration: processor
+// counts 1..8, block sizes 4..32, tight and unlimited budgets, flat and
+// multi-socket topologies.
+func randomInvariantConfig(rng *rand.Rand) invariantConfig {
+	p := 1 + rng.Intn(8)
+	cfg := DefaultConfig(p)
+	cfg.Seed = rng.Int63()
+	cfg.Machine.B = []int{4, 8, 16, 32}[rng.Intn(4)]
+	cfg.Machine.M = cfg.Machine.B * (16 << rng.Intn(4))
+	cfg.Machine.CostMiss = machine.Tick(2 + rng.Intn(9))
+	cfg.Machine.CostSteal = cfg.Machine.CostMiss + machine.Tick(rng.Intn(20))
+	cfg.Machine.CostFailSteal = 1 + machine.Tick(rng.Intn(int(cfg.Machine.CostSteal)))
+	if rng.Intn(3) == 0 {
+		cfg.Machine.Arbitration = machine.ArbitrationFree
+	}
+	cfg.StealBudget = []int64{-1, -1, -1, 0, 3, 17}[rng.Intn(6)]
+	if sockets := []int{1, 1, 2, 4}[rng.Intn(4)]; sockets > 1 && sockets <= p {
+		cfg.Machine.Topology = machine.Topology{
+			Sockets:        sockets,
+			CostMissRemote: cfg.Machine.CostMiss * machine.Tick(1+rng.Intn(4)),
+		}
+	}
+	return invariantConfig{
+		cfg:    cfg,
+		leaves: 48 + rng.Intn(150),
+		shape:  rng.Int63(),
+	}
+}
+
+// runInvariantCase executes one randomized lopsided fork tree under ic.cfg
+// and the given policy/fast-path mode, asserting the scheduler invariants
+// the policy layer must preserve:
+//
+//   - work conservation: every spawn is consumed exactly once
+//     (Spawns == Steals + InlinePops + IdlePops, and Spawns == leaves-1),
+//     and every leaf body runs exactly once;
+//   - per-processor clock monotonicity, observed from inside the
+//     computation (each leaf reads its processor's clock under the baton);
+//   - steal count within the configured StealBudget;
+//   - migration bookkeeping: only multi-take policies migrate, and the
+//     final Result's totals match the per-processor counters.
+func runInvariantCase(t *testing.T, ic invariantConfig, pol StealPolicy, disableFastPath bool) Result {
+	t.Helper()
+	cfg := ic.cfg
+	cfg.Policy = pol
+	cfg.DisableFastPath = disableFastPath
+	e := MustNewEngine(cfg)
+	out := e.Machine().Alloc.Alloc(ic.leaves)
+
+	ran := make([]int, ic.leaves)
+	lastClock := make([]machine.Tick, cfg.Machine.P)
+	monotone := true
+	shapeRng := rand.New(rand.NewSource(ic.shape))
+
+	var rec func(lo, hi int, c *Ctx)
+	rec = func(lo, hi int, c *Ctx) {
+		if hi-lo <= 1 {
+			// Leaf: data-dependent work plus a false-sharing-prone write.
+			// The baton discipline makes e.clock safe to read here, and
+			// orders the host-side ran[] increments.
+			p := c.Proc()
+			if now := e.clock[p]; now < lastClock[p] {
+				monotone = false
+			} else {
+				lastClock[p] = now
+			}
+			ran[lo]++
+			c.Work(machine.Tick(1 + (lo*13)%29))
+			c.StoreInt(out+mem.Addr(lo), int64(lo))
+			return
+		}
+		span := hi - lo
+		cut := lo + 1 + shapeRng.Intn(span-1)
+		c.Fork(
+			func(c *Ctx) { rec(lo, cut, c) },
+			func(c *Ctx) { rec(cut, hi, c) })
+	}
+	res := e.Run(func(c *Ctx) { rec(0, ic.leaves, c) })
+
+	if !monotone {
+		t.Errorf("%s: per-processor clock went backwards", pol.Name())
+	}
+	if res.Spawns != res.Steals+res.InlinePops+res.IdlePops {
+		t.Errorf("%s: spawn conservation violated: %d spawns != %d steals + %d inline + %d idle",
+			pol.Name(), res.Spawns, res.Steals, res.InlinePops, res.IdlePops)
+	}
+	if res.Spawns != int64(ic.leaves-1) {
+		t.Errorf("%s: %d spawns from a %d-leaf binary tree, want %d",
+			pol.Name(), res.Spawns, ic.leaves, ic.leaves-1)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("%s: leaf %d ran %d times, want exactly once", pol.Name(), i, n)
+		}
+	}
+	for i := 0; i < ic.leaves; i++ {
+		if got := e.Machine().Mem.LoadInt(out + mem.Addr(i)); got != int64(i) {
+			t.Fatalf("%s: output[%d] = %d, want %d", pol.Name(), i, got, i)
+		}
+	}
+	if cfg.StealBudget >= 0 && res.Steals > cfg.StealBudget {
+		t.Errorf("%s: %d steals exceed budget %d", pol.Name(), res.Steals, cfg.StealBudget)
+	}
+	if _, multiTake := pol.(StealHalf); !multiTake && res.SpawnsMigrated != 0 {
+		t.Errorf("%s: single-take policy migrated %d spawns", pol.Name(), res.SpawnsMigrated)
+	}
+	if res.Totals != sumCounters(res.PerProc) {
+		t.Errorf("%s: Totals %+v != per-proc sum %+v", pol.Name(), res.Totals, sumCounters(res.PerProc))
+	}
+	return res
+}
+
+func sumCounters(per []machine.ProcCounters) machine.ProcCounters {
+	var t machine.ProcCounters
+	for i := range per {
+		c := &per[i]
+		t.WorkTicks += c.WorkTicks
+		t.CacheMisses += c.CacheMisses
+		t.BlockMisses += c.BlockMisses
+		t.MissStall += c.MissStall
+		t.BlockWait += c.BlockWait
+		t.StealsOK += c.StealsOK
+		t.StealsFail += c.StealsFail
+		t.StealTicks += c.StealTicks
+		t.Usurpations += c.Usurpations
+		t.NodesExecuted += c.NodesExecuted
+		t.AccessesTimed += c.AccessesTimed
+		t.InvalidationsSent += c.InvalidationsSent
+		t.RemoteFetches += c.RemoteFetches
+	}
+	return t
+}
+
+// TestPolicyInvariants is the property suite of the policy layer: for
+// randomized configurations it runs every built-in policy under both the
+// run-ahead fast path and the DisableFastPath lockstep mode, checks the
+// scheduler invariants in each, and requires the two modes' Results to be
+// bit-for-bit equal per policy.
+func TestPolicyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	iters := 18
+	if testing.Short() {
+		iters = 6
+	}
+	for iter := 0; iter < iters; iter++ {
+		ic := randomInvariantConfig(rng)
+		for _, pol := range Policies() {
+			fast := runInvariantCase(t, ic, pol, false)
+			slow := runInvariantCase(t, ic, pol, true)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("iter %d %s: fast path diverged from lockstep:\nfast: %+v\nslow: %+v",
+					iter, pol.Name(), fast, slow)
+			}
+			if t.Failed() {
+				t.Fatalf("iter %d: config %+v", iter, ic.cfg)
+			}
+		}
+	}
+}
+
+// TestPolicyDisciplinesDiffer is the sanity complement of the invariant
+// suite: the policies are not all secretly Uniform. On a multi-socket
+// steal-heavy workload, each policy's schedule (and so its Result) should
+// differ from Uniform's.
+func TestPolicyDisciplinesDiffer(t *testing.T) {
+	run := func(pol StealPolicy) Result {
+		cfg := DefaultConfig(8)
+		cfg.Seed = 99
+		cfg.Machine.Topology = machine.Topology{Sockets: 2, CostMissRemote: 30}
+		cfg.Policy = pol
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(512)
+		return e.Run(func(c *Ctx) {
+			c.ForkN(192, func(j int, c *Ctx) {
+				c.Work(machine.Tick(1 + j%17))
+				c.StoreInt(out+mem.Addr(j*2%512), int64(j))
+			})
+		})
+	}
+	base := run(Uniform{})
+	for _, pol := range Policies()[1:] {
+		if res := run(pol); reflect.DeepEqual(res, base) {
+			t.Errorf("%s produced a Result identical to uniform's — policy not taking effect", pol.Name())
+		}
+	}
+}

@@ -162,6 +162,15 @@ func (d *deque) popBottomIf(sp *spawn) bool {
 	return true
 }
 
+// top returns the top (oldest) element without removing it, or nil when
+// empty. Steal policies peek it to judge a victim's next-stolen task.
+func (d *deque) top() *spawn {
+	if d.head == d.tail {
+		return nil
+	}
+	return d.buf[d.head&uint64(len(d.buf)-1)]
+}
+
 // popTop removes and returns the top (oldest) element, or nil when empty.
 func (d *deque) popTop() *spawn {
 	if d.head == d.tail {

@@ -11,6 +11,14 @@
 // computation, which may move the parent task's execution to a different
 // processor (a "usurpation").
 //
+// Victim selection and the per-steal take size are pluggable through
+// Config.Policy (see StealPolicy in policy.go): Uniform is the paper's
+// discipline and the default, byte-identical to the pre-policy engine;
+// Localized, StealHalf and Affinity explore socket-biased, half-deque and
+// directory-affine disciplines over the machine's Topology. Everything
+// else about the attempt protocol — costs, budget, RNG ownership — stays
+// fixed in the engine.
+//
 // Tasks-as-stolen-units own execution stacks (package exec): the original
 // task and every stolen task get their own stack S_τ (Section 4); the join
 // flag ("hidden variable for reporting the completion of a subtask") lives in
@@ -52,6 +60,13 @@
 //     already copied the fields out. Holding recycling until then keeps the
 //     pointer-identity check of popBottomIf sound: a spawn cannot re-enter
 //     the pool, and hence reappear in a deque, while its fork still holds it.
+//     A multi-take steal policy (StealHalf) *consumes* extra spawns at the
+//     steal — the pop copied the fields out, so the forker's recycling
+//     stays sound — and re-queues each as a fresh migrant copy on the
+//     thief's deque. A migrant has no forking strand holding it, so it can
+//     never satisfy popBottomIf's identity check (its forker holds the
+//     original pointer) and is instead recycled by startSpawn when some
+//     processor finally runs it.
 //   - A joinCell has two releases: the forking strand (after it passed the
 //     join, parked-and-resumed or not) and the completing child strand (in
 //     the engine's reqFinish handling). Whichever release comes second
@@ -113,13 +128,16 @@ type joinCell struct {
 // of fn (a Fork/ForkHint closure) or body (a ForkN leaf-range walker over
 // [lo, hi)) is set.
 type spawn struct {
-	fn     func(*Ctx)
-	body   func(i int, c *Ctx)
-	lo, hi int
-	hintFn func(lo, hi int) int
-	task   *Task // task whose kernel forked it
-	jc     *joinCell
+	fn        func(*Ctx)
+	body      func(i int, c *Ctx)
+	lo, hi    int
+	hintFn    func(lo, hi int) int
+	task      *Task // task whose kernel forked it
+	jc        *joinCell
 	stackHint int // words of stack a thief should give the stolen task
+	// migrant marks a copy re-queued by a multi-take steal: no forking
+	// strand holds it, so startSpawn recycles it at consumption.
+	migrant bool
 }
 
 // strandJob is one unit of kernel execution handed to a pooled strand
@@ -153,11 +171,11 @@ type strand struct {
 	// hot path.
 	resume chan wake
 
-	mu   sync.Mutex
-	cond sync.Cond // L = &mu; signaled on job handoff and shutdown
-	job      strandJob
-	hasJob   bool
-	closed   bool
+	mu     sync.Mutex
+	cond   sync.Cond // L = &mu; signaled on job handoff and shutdown
+	job    strandJob
+	hasJob bool
+	closed bool
 
 	// ctx is the per-job Ctx, embedded so starting a job allocates nothing.
 	ctx  Ctx
