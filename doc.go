@@ -24,35 +24,53 @@
 //
 //   - rws.Config.Policy takes a rws.StealPolicy — Uniform (default,
 //     byte-identical to the paper's discipline), Localized (socket-biased
-//     victims), StealHalf (top half of the victim's deque per steal) or
+//     victims), StealHalf (top half of the victim's deque per steal),
 //     Affinity (prefer victims whose next-stolen task's blocks the thief
-//     still caches, per the coherence directory). Policies are stateless
-//     values drawing all randomness from the engine's per-run RNG (the
-//     "RNG ownership rule"), which is what keeps parallel experiment
-//     sweeps byte-identical to serial runs.
+//     still caches, per the coherence directory), Hierarchical (probe the
+//     thief's own socket, escalating to a remote victim only after a
+//     streak of local failures) or LatencyAware (score a few probed
+//     candidates by deque size and distance price, steal from the
+//     cheapest). Policies are stateless values drawing all randomness
+//     from the engine's per-run RNG (the "RNG ownership rule"), which is
+//     what keeps parallel experiment sweeps byte-identical to serial runs;
+//     engine-side state a policy needs (like the failed-attempt streak) is
+//     read through the PolicyView.
 //   - machine.Params.Topology partitions processors into sockets; block
 //     transfers whose last owner (a per-block directory record) sits in
 //     another socket stall for CostMissRemote instead of CostMiss and are
-//     counted as RemoteFetches. The flat default keeps provenance
-//     untracked and every metric unchanged.
+//     counted as RemoteFetches. Topology.CostSteal/CostStealRemote price
+//     the steal protocol the same way: every steal attempt is charged the
+//     same- or cross-socket latency at probe time (failed remote probes
+//     pay too), counted in ProcCounters.RemoteSteals and StealLatency.
+//     The flat, unpriced default keeps provenance untracked and every
+//     metric unchanged.
+//   - Ctx.PlaceLocal/Ctx.SocketOf are the placement helpers: PlaceLocal
+//     re-binds a range's blocks to the executing processor (NUMA
+//     first-touch) so join/result blocks live on their consumer's socket
+//     instead of inheriting the initializer's provenance; SocketOf reports
+//     where a block currently resides. E21 and examples/falsesharing
+//     measure the cross-socket traffic they remove.
 //
-// To add a fifth policy: implement StealPolicy (Name/Victim/Take) in
+// To add a seventh policy: implement StealPolicy (Name/Victim/Take) in
 // internal/rws/policy.go obeying the RNG ownership rule, register it in
-// Policies() — CLI flags, the E16/E18 sweeps and the invariant suite pick
-// it up from there — and pin a golden case in golden_test.go
-// (policyGoldenCases) so its schedule cannot drift silently.
+// Policies() — CLI flags, the E16/E18 sweeps, the invariant suite and
+// FuzzStealPolicy pick it up from there — and pin a golden case in
+// golden_test.go (policyGoldenCases), on a priced topology if the policy
+// consults distance, so its schedule cannot drift silently.
 //
 // The policy layer is locked down by three test layers in internal/rws:
 // golden determinism cases per policy, a property-based invariant suite
 // (go test -run TestPolicyInvariants: spawn conservation, clock
-// monotonicity, budget ceilings, fast-path/lockstep equality over
-// randomized configs), and native fuzz targets with checked-in corpora —
-// run locally with
+// monotonicity, budget ceilings, steal-cost conservation — charged latency
+// == priced attempts × configured costs — and fast-path/lockstep equality
+// over randomized configs), and native fuzz targets with checked-in
+// corpora — run locally with
 //
 //	go test ./internal/rws/ -fuzz FuzzDeque -fuzztime 30s -run '^$'
+//	go test ./internal/rws/ -fuzz FuzzStealPolicy -fuzztime 30s -run '^$'
 //	go test ./internal/machine/ -fuzz FuzzDirectory -fuzztime 30s -run '^$'
 //
-// (CI runs both for 10s plus a -race pass over ./internal/...).
+// (CI runs all three for 10s plus a -race pass over ./internal/...).
 //
 // # Simulator hot path
 //

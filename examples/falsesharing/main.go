@@ -1,6 +1,8 @@
-// False sharing, twice: first measured exactly on the simulated machine
-// (block misses, per-block transfers), then timed on your real CPU with the
-// native work-stealing runtime's padded vs unpadded counters.
+// False sharing, three ways: first measured exactly on the simulated flat
+// machine (block misses, per-block transfers), then on a two-socket machine
+// with distance-priced steals where Ctx.PlaceLocal keeps result blocks off
+// the interconnect, then timed on your real CPU with the native
+// work-stealing runtime's padded vs unpadded counters.
 //
 //	go run ./examples/falsesharing
 package main
@@ -9,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"rwsfs/internal/machine"
 	"rwsfs/internal/mem"
 	"rwsfs/internal/native"
 	"rwsfs/internal/rws"
@@ -16,6 +19,7 @@ import (
 
 func main() {
 	simulated()
+	placed()
 	nativeHost()
 }
 
@@ -52,6 +56,49 @@ func simulated() {
 	fmt.Printf("  separate blocks: blockMisses=%4d  maxTransfers=%4d  makespan=%6d\n",
 		apart.Totals.BlockMisses, apart.BlockTransfersMax, apart.Makespan)
 	fmt.Println("  (with a steal, the same-block run bounces its block on every write pair)")
+	fmt.Println()
+}
+
+// placed moves the same write-contention story onto a two-socket machine
+// with distance-priced stealing: a socket-0 root initializes one result
+// slot (a full block) per leaf, so every remote leaf's first fetch crosses
+// the interconnect — unless the leaf re-places its slot locally first with
+// Ctx.PlaceLocal (the NUMA first-touch the helpers model). Steal attempts
+// pay 5 ticks inside a socket and 25 across, charged at probe time.
+func placed() {
+	fmt.Println("— simulated 2-socket machine (steal price 5 local / 25 remote) —")
+	run := func(place bool) rws.Result {
+		cfg := rws.DefaultConfig(4)
+		cfg.Seed = 3
+		cfg.Policy = rws.Hierarchical{}
+		cfg.Machine.Topology = machine.Topology{
+			Sockets: 2, CostMissRemote: 4 * cfg.Machine.CostMiss,
+			CostSteal: 5, CostStealRemote: 25,
+		}
+		e := rws.MustNewEngine(cfg)
+		B := cfg.Machine.B
+		leaves := 64
+		slots := e.Machine().Alloc.Alloc(leaves * B)
+		return e.Run(func(c *rws.Ctx) {
+			c.WriteRange(slots, leaves*B) // root's socket owns every slot
+			c.ForkN(leaves, func(j int, c *rws.Ctx) {
+				slot := slots + mem.Addr(j*B)
+				if place {
+					c.PlaceLocal(slot, B)
+				}
+				c.Work(9)
+				c.WriteRange(slot, B)
+			})
+		})
+	}
+	inherited := run(false)
+	local := run(true)
+	fmt.Printf("  root-owned slots: remoteFetches=%4d  stealLatency=%5d  makespan=%6d\n",
+		inherited.Totals.RemoteFetches, inherited.Totals.StealLatency, inherited.Makespan)
+	fmt.Printf("  PlaceLocal slots: remoteFetches=%4d  stealLatency=%5d  makespan=%6d\n",
+		local.Totals.RemoteFetches, local.Totals.StealLatency, local.Makespan)
+	fmt.Println("  (placement re-binds each slot to its consumer's socket; only genuinely")
+	fmt.Println("   shared blocks still cross the interconnect)")
 	fmt.Println()
 }
 

@@ -161,9 +161,12 @@ func All() []Experiment {
 		{"E13", "Section 6.1 — level machinery vs measurements (BP)", E13},
 		{"E14", "Section 2.1 — native false sharing on the host", E14},
 		{"E15", "Corollary 6.2 — speedup optimality", E15},
-		{"E16", "Steal policies — false-sharing profiles of the four disciplines", E16},
+		{"E16", "Steal policies — false-sharing profiles of every discipline", E16},
 		{"E17", "Topology — localized vs uniform stealing across sockets", E17},
 		{"E18", "Policy × (p, B) — Lemma 4.5 shape under every discipline", E18},
+		{"E19", "Steal latency — distance-priced stealing at matched steal counts", E19},
+		{"E20", "Theorem 5.1 — steal bound shape under distance-priced stealing", E20},
+		{"E21", "Placement — Ctx.PlaceLocal vs inherited provenance", E21},
 	}
 }
 

@@ -103,7 +103,7 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	// from the engine's per-run RNG) is what keeps a shared policy value
 	// from coupling concurrent runs' schedules.
 	defer SetWorkers(1)
-	for _, id := range []string{"E03", "E07", "E16", "E17", "E18"} {
+	for _, id := range []string{"E03", "E07", "E16", "E17", "E18", "E19", "E20", "E21"} {
 		ex, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("experiment %s missing", id)

@@ -8,17 +8,19 @@ import (
 	"rwsfs/internal/alg/prefix"
 	"rwsfs/internal/analysis"
 	"rwsfs/internal/machine"
+	"rwsfs/internal/mem"
 	"rwsfs/internal/rws"
 )
 
-// The policy/topology experiments (E16–E18) compare the paper's uniform
+// The policy/topology experiments (E16–E21) compare the paper's uniform
 // stealing discipline against the pluggable alternatives on the
-// false-sharing metrics the analysis bounds. Every run owns its engine and
+// false-sharing metrics the analysis bounds, and price steal attempts and
+// block transfers by socket distance. Every run owns its engine and
 // consumes only its own RNG (see the StealPolicy RNG ownership rule), so
 // the sweeps fan out across workers like the rest of the harness with
 // byte-identical output.
 
-// E16 compares the four steal policies on one false-sharing-heavy BP
+// E16 compares every registered steal policy on one false-sharing-heavy BP
 // workload over the flat machine.
 func E16(s Scale) Table {
 	n := 4096
@@ -199,5 +201,206 @@ func E18(s Scale) Table {
 	}
 	t.Checked("block misses stay O(S·B) under every policy", maxOf(ratios) <= 2,
 		fmt.Sprintf("worst blockMiss/(S·B) ratio %.2f across the sweep", maxOf(ratios)))
+	return t
+}
+
+// E19 prices steal attempts by socket distance on a four-socket machine and
+// compares the disciplines' total steal latency at matched steal counts: a
+// shared steal budget pins the successful-steal count, so the latency
+// difference isolates where each policy's probes land, not how many tasks
+// it moves.
+func E19(s Scale) Table {
+	n := 4096
+	if s == Quick {
+		n = 1024
+	}
+	budget := int64(48)
+	mk := PrefixMaker(n, prefix.Config{Chunk: 1})
+	t := Table{
+		ID: "E19",
+		Title: fmt.Sprintf("distance-priced stealing on a 4-socket machine (prefix n=%d, p=8, steal price 5 local / 25 remote, budget S=%d, avg of 3 seeds)",
+			n, budget),
+		Note: "Every steal attempt pays the topology's distance price at probe time — failed remote probes " +
+			"included — so a discipline that keeps its probes inside the thief's socket cuts total steal " +
+			"latency without stealing any less. remoteProbes counts cross-socket attempts.",
+		Header: []string{"policy", "S(avg)", "attempts", "remoteProbes", "stealLatency", "makespan"},
+	}
+	pols := []rws.StealPolicy{rws.Uniform{}, rws.Localized{}, rws.Hierarchical{}, rws.LatencyAware{}}
+	var jobs []func() rws.Result
+	for _, pol := range pols {
+		base := rws.DefaultConfig(8)
+		base.Policy = pol
+		base.Machine.Topology = machine.Topology{
+			Sockets: 4, CostMissRemote: 4 * base.Machine.CostMiss,
+			CostSteal: 5, CostStealRemote: 25,
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			base, seed := base, seed
+			jobs = append(jobs, func() rws.Result { return runAt(mk, base, 8, budget, seed) })
+		}
+	}
+	results := runPar(jobs)
+	lat := make([]int64, len(pols))
+	stealsMatch := true
+	conserved := true
+	for pi, pol := range pols {
+		var st, att, rp, sl, span int64
+		for si := 0; si < 3; si++ {
+			res := results[pi*3+si]
+			st += res.Steals
+			att += res.Totals.StealsOK + res.Totals.StealsFail
+			rp += res.Totals.RemoteSteals
+			sl += int64(res.Totals.StealLatency)
+			span += int64(res.Makespan)
+			if res.Steals != budget {
+				stealsMatch = false
+			}
+			local := (res.Totals.StealsOK + res.Totals.StealsFail) - res.Totals.RemoteSteals
+			if int64(res.Totals.StealLatency) != local*5+res.Totals.RemoteSteals*25 {
+				conserved = false
+			}
+		}
+		lat[pi] = sl
+		t.AddRow(pol.Name(), fmtF(float64(st)/3), fmtI(att/3), fmtI(rp/3), fmtI(sl/3), fmtI(span/3))
+	}
+	t.Checked("steal counts match across policies (budget binds)", stealsMatch,
+		fmt.Sprintf("every run hit the shared budget of %d successful steals", budget))
+	t.Checked("steal latency == priced attempts x configured costs", conserved,
+		"local x 5 + remote x 25 reconstructed every run's charged latency exactly")
+	hier := float64(lat[2]) / float64(lat[0])
+	t.Checked("hierarchical cuts total steal latency >=15% vs uniform", hier <= 0.85,
+		fmt.Sprintf("hierarchical/uniform latency ratio %.2f at equal steal counts", hier))
+	return t
+}
+
+// E20 re-runs the Theorem 5.1 steal-count sweep (E07's shape) with
+// distance-priced steal attempts switched on: pricing changes when idle
+// processors' clocks advance, not how many steals the bound allows, so
+// S = O(p·h(t)) must survive unchanged.
+func E20(s Scale) Table {
+	n := 32
+	mk := MMMaker(matmul.LimitedAccessDepthN, n, 4)
+	base := rws.DefaultConfig(2)
+	base.Machine.Topology = machine.Topology{
+		Sockets: 2, CostMissRemote: 4 * base.Machine.CostMiss,
+		CostSteal: 5, CostStealRemote: 25,
+	}
+	cs := costs(base.Machine)
+	tinf := float64(6 * n) // depth-n recursion with log-depth fork trees
+	h := analysis.HRootGeneral(tinf, float64(base.Machine.B), cs)
+	t := Table{
+		ID:    "E20",
+		Title: fmt.Sprintf("Theorem 5.1 steal bound under distance-priced stealing (depth-n MM, n=%d, 2 sockets, price 5/25)", n),
+		Note: fmt.Sprintf("Steal pricing slows thieves down (every attempt pays the distance) but the bound "+
+			"S = O(p·h(t)·(1+a)) with h(t) = %.0f counts steals, not their latency: the priced sweep must "+
+			"keep the same shape as E07's unpriced one. Rows average 3 scheduling seeds; a=1.", h),
+		Header: []string{"p", "S(avg)", "bound p·h·2", "S/bound", "remoteProbes", "stealLatency"},
+	}
+	ps := []int{2, 4, 8, 16}
+	if s == Quick {
+		ps = []int{2, 4, 8}
+	}
+	var specs []runSpec
+	for _, p := range ps {
+		for seed := int64(1); seed <= 3; seed++ {
+			specs = append(specs, runSpec{p: p, budget: -1, seed: seed})
+		}
+	}
+	results := sweepRuns(mk, base, specs)
+	var ratios []float64
+	priced := true
+	k := 0
+	for _, p := range ps {
+		var st, rp, sl int64
+		for seed := int64(1); seed <= 3; seed++ {
+			res := results[k]
+			k++
+			st += res.Steals
+			rp += res.Totals.RemoteSteals
+			sl += int64(res.Totals.StealLatency)
+			if res.Totals.StealLatency == 0 && res.Totals.StealsOK+res.Totals.StealsFail > 0 {
+				priced = false
+			}
+		}
+		avg := float64(st) / 3
+		bound := analysis.StealBoundGeneral(p, h, 1)
+		ratios = append(ratios, avg/bound)
+		t.AddRow(fmtI(int64(p)), fmtF(avg), fmtF(bound), fmtF(avg/bound), fmtI(rp/3), fmtI(sl/3))
+	}
+	t.Checked("priced steals stay under p·h(t)·(1+a)", maxOf(ratios) <= 1,
+		fmt.Sprintf("worst S/bound %.3f with attempt pricing on", maxOf(ratios)))
+	t.Checked("pricing actually engaged", priced,
+		"every run with steal attempts charged nonzero steal latency")
+	return t
+}
+
+// E21 measures the Ctx placement helpers: leaves on a four-socket machine
+// write into result slots a socket-0 root initialized, with and without
+// each leaf first re-placing its slot via Ctx.PlaceLocal (NUMA first-touch:
+// the slot's blocks bind to the consumer's socket instead of inheriting the
+// initializer's provenance).
+func E21(s Scale) Table {
+	leaves := 512
+	if s == Quick {
+		leaves = 192
+	}
+	t := Table{
+		ID:    "E21",
+		Title: fmt.Sprintf("Ctx.PlaceLocal on root-initialized result slots (4 sockets, p=8, %d leaves, remote=4b, avg of 3 seeds)", leaves),
+		Note: "Without placement every leaf's first fetch of its result slot crosses to the root's socket " +
+			"(the root's initializing writes own the blocks); PlaceLocal re-binds a slot to the leaf's " +
+			"socket before use, so only genuinely shared traffic stays remote. Same timed work either way.",
+		Header: []string{"variant", "remoteFetch", "blockMiss", "missStall", "makespan"},
+	}
+	run := func(place bool, seed int64) rws.Result {
+		cfg := rws.DefaultConfig(8)
+		cfg.Seed = seed
+		cfg.Machine.Topology = machine.Topology{Sockets: 4, CostMissRemote: 4 * cfg.Machine.CostMiss}
+		e := rws.MustNewEngine(cfg)
+		mm := e.Machine()
+		slotWords := cfg.Machine.B // one block per leaf slot
+		slots := mm.Alloc.Alloc(leaves * slotWords)
+		return e.Run(func(c *rws.Ctx) {
+			// The root warms every slot: its processor's socket becomes each
+			// block's owner, the pattern PlaceLocal exists to undo.
+			c.WriteRange(slots, leaves*slotWords)
+			c.ForkN(leaves, func(j int, c *rws.Ctx) {
+				slot := slots + mem.Addr(j*slotWords)
+				if place {
+					c.PlaceLocal(slot, slotWords)
+				}
+				c.Work(machine.Tick(1 + j%7))
+				c.WriteRange(slot, slotWords)
+				c.StoreInt(slot, int64(j))
+			})
+		})
+	}
+	var placedRF, unplacedRF int64
+	for _, place := range []bool{false, true} {
+		var jobs []func() rws.Result
+		for seed := int64(1); seed <= 3; seed++ {
+			place, seed := place, seed
+			jobs = append(jobs, func() rws.Result { return run(place, seed) })
+		}
+		results := runPar(jobs)
+		var rf, bm, ms, span int64
+		for _, res := range results {
+			rf += res.Totals.RemoteFetches
+			bm += res.Totals.BlockMisses
+			ms += int64(res.Totals.MissStall)
+			span += int64(res.Makespan)
+		}
+		name := "root-owned slots"
+		if place {
+			name = "PlaceLocal slots"
+			placedRF = rf
+		} else {
+			unplacedRF = rf
+		}
+		t.AddRow(name, fmtI(rf/3), fmtI(bm/3), fmtI(ms/3), fmtI(span/3))
+	}
+	ratio := float64(placedRF) / float64(unplacedRF)
+	t.Checked("placement cuts cross-socket fetches", placedRF < unplacedRF,
+		fmt.Sprintf("remote fetches placed/unplaced ratio %.2f", ratio))
 	return t
 }

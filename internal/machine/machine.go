@@ -122,6 +122,8 @@ type ProcCounters struct {
 	AccessesTimed     int64 // timed word accesses issued (reads+writes)
 	InvalidationsSent int64 // writes by this proc that invalidated remote copies
 	RemoteFetches     int64 // block fetches served across a socket boundary (0 on flat topologies)
+	RemoteSteals      int64 // steal attempts that probed a victim in another socket (counted only under steal pricing)
+	StealLatency      Tick  // distance-dependent steal-attempt latency charged to this proc (0 unless the topology prices steals)
 }
 
 // Machine is the simulated multicore. It is not safe for concurrent use; the
@@ -145,6 +147,13 @@ type Machine struct {
 	// miss path. remoteCost is the effective cross-socket transfer stall.
 	socketOf   []int16
 	remoteCost Tick
+
+	// stealPriced gates the distance-dependent steal-attempt latency;
+	// stealLocal/stealRemote are the effective same-/cross-socket attempt
+	// prices (see Topology's steal-latency model).
+	stealPriced bool
+	stealLocal  Tick
+	stealRemote Tick
 
 	// OnTransfer, when non-nil, observes every block fetch as it is charged
 	// (after the transfer count is updated). The scheduler uses it to audit
@@ -179,6 +188,11 @@ func New(pr Params) (*Machine, error) {
 		}
 		m.remoteCost = pr.Topology.remoteCost(pr.CostMiss)
 		m.dir.trackOwner = true
+	}
+	if pr.Topology.StealPriced() {
+		m.stealPriced = true
+		m.stealLocal = pr.Topology.CostSteal
+		m.stealRemote = pr.Topology.stealRemoteCost()
 	}
 	if pr.TrackWrites {
 		m.writeCounts = make(map[mem.Addr]int64)
@@ -342,8 +356,29 @@ func (m *Machine) Totals() ProcCounters {
 		t.AccessesTimed += c.AccessesTimed
 		t.InvalidationsSent += c.InvalidationsSent
 		t.RemoteFetches += c.RemoteFetches
+		t.RemoteSteals += c.RemoteSteals
+		t.StealLatency += c.StealLatency
 	}
 	return t
+}
+
+// StealPriced reports whether the topology charges steal attempts a
+// distance-dependent latency.
+func (m *Machine) StealPriced() bool { return m.stealPriced }
+
+// StealPrice returns the distance-dependent latency a steal attempt by
+// thief against victim costs, and whether the probe crosses a socket
+// boundary. Both are zero/false when the topology leaves steal pricing off,
+// so the unpriced machine stays byte-identical. The price covers the probe
+// itself, so it is charged whether or not the attempt finds work.
+func (m *Machine) StealPrice(thief, victim int) (price Tick, remote bool) {
+	if !m.stealPriced {
+		return 0, false
+	}
+	if m.socketOf != nil && m.socketOf[thief] != m.socketOf[victim] {
+		return m.stealRemote, true
+	}
+	return m.stealLocal, false
 }
 
 // SocketOf returns processor p's socket index (0 on a flat topology).
@@ -380,6 +415,26 @@ func (m *Machine) BlockOwner(a mem.Addr) int {
 		return -1
 	}
 	return int(r.pg.owner[r.i])
+}
+
+// PlaceRange records processor p as the owner of every block overlapping
+// the n words at a, without touching caches, sharer bits or counters. It
+// models NUMA first-touch placement: a freshly allocated range whose backing
+// blocks are bound to the placer's socket, so later fetches by socket peers
+// are priced locally instead of inheriting provenance from whichever
+// processor initialized neighbouring data. No-op on a flat topology (no
+// provenance is tracked there). Placement is untimed bookkeeping — the
+// range's contents still need timed accesses like any other data.
+func (m *Machine) PlaceRange(p int, a mem.Addr, n int) {
+	if m.socketOf == nil || n <= 0 {
+		return
+	}
+	first := m.Mem.Block(a)
+	last := m.Mem.Block(a + mem.Addr(n-1))
+	for b := first; b <= last; b++ {
+		r := m.dir.entry(b)
+		r.pg.owner[r.i] = int16(p)
+	}
 }
 
 // BlockTransfers returns the total number of block fetches (Definition 4.1's

@@ -13,6 +13,17 @@ import "fmt"
 // The zero value is the flat machine of the paper: one socket, every
 // transfer at CostMiss, and no per-block provenance tracking at all, so
 // flat-topology runs are byte-identical to the pre-topology simulator.
+//
+// # Steal latency
+//
+// Beyond block transfers, the topology can price the steal protocol itself:
+// CostSteal/CostStealRemote are interconnect latencies a thief pays per
+// steal *attempt*, on top of the machine's success/failure charges. The
+// remote price applies whenever the probed victim sits in another socket —
+// the deque probe crosses the interconnect whether or not it finds work, so
+// failed remote probes pay too. Both default to zero, which disables the
+// pricing entirely and keeps every run byte-identical to the unpriced
+// simulator.
 type Topology struct {
 	// Sockets is the number of sockets; 0 or 1 means flat.
 	Sockets int
@@ -20,6 +31,15 @@ type Topology struct {
 	// socket boundary; 0 means CostMiss (no NUMA penalty). Must be >=
 	// CostMiss when set: remote memory is never faster than local.
 	CostMissRemote Tick
+	// CostSteal is the extra latency a thief pays for every steal attempt
+	// whose victim shares its socket (on a flat topology: every attempt).
+	// 0 means steal attempts carry no distance price at all.
+	CostSteal Tick
+	// CostStealRemote is the extra latency for attempts probing a victim in
+	// another socket; 0 means CostSteal. When both are set it must be >=
+	// CostSteal: a cross-interconnect probe is never faster than a local
+	// one. Requires a non-flat topology.
+	CostStealRemote Tick
 }
 
 // Flat reports whether the topology is the paper's single-socket machine.
@@ -30,15 +50,24 @@ func (t Topology) validate(pr Params) error {
 	switch {
 	case t.Sockets < 0:
 		return fmt.Errorf("machine: Sockets=%d", t.Sockets)
+	case t.CostSteal < 0:
+		return fmt.Errorf("machine: Topology.CostSteal=%d", t.CostSteal)
+	case t.CostStealRemote < 0:
+		return fmt.Errorf("machine: CostStealRemote=%d", t.CostStealRemote)
 	case t.Flat():
-		if t.CostMissRemote != 0 {
+		switch {
+		case t.CostMissRemote != 0:
 			return fmt.Errorf("machine: CostMissRemote=%d set on a flat topology", t.CostMissRemote)
+		case t.CostStealRemote != 0:
+			return fmt.Errorf("machine: CostStealRemote=%d set on a flat topology", t.CostStealRemote)
 		}
 		return nil
 	case t.Sockets > pr.P:
 		return fmt.Errorf("machine: Sockets=%d > P=%d", t.Sockets, pr.P)
 	case t.CostMissRemote != 0 && t.CostMissRemote < pr.CostMiss:
 		return fmt.Errorf("machine: CostMissRemote=%d < CostMiss=%d", t.CostMissRemote, pr.CostMiss)
+	case t.CostStealRemote != 0 && t.CostStealRemote < t.CostSteal:
+		return fmt.Errorf("machine: CostStealRemote=%d < Topology.CostSteal=%d", t.CostStealRemote, t.CostSteal)
 	}
 	return nil
 }
@@ -49,6 +78,18 @@ func (t Topology) remoteCost(costMiss Tick) Tick {
 		return t.CostMissRemote
 	}
 	return costMiss
+}
+
+// StealPriced reports whether the topology charges steal attempts a
+// distance-dependent latency at all.
+func (t Topology) StealPriced() bool { return t.CostSteal > 0 || t.CostStealRemote > 0 }
+
+// stealRemoteCost returns the effective cross-socket steal-attempt price.
+func (t Topology) stealRemoteCost() Tick {
+	if t.CostStealRemote > 0 {
+		return t.CostStealRemote
+	}
+	return t.CostSteal
 }
 
 // procsPerSocket returns the size of each (non-final) socket.

@@ -1,6 +1,10 @@
 package machine
 
-import "testing"
+import (
+	"testing"
+
+	"rwsfs/internal/mem"
+)
 
 func TestTopologyValidate(t *testing.T) {
 	bads := []Params{
@@ -8,6 +12,13 @@ func TestTopologyValidate(t *testing.T) {
 		func() Params { p := small(4); p.Topology = Topology{Sockets: 8}; return p }(),                    // more sockets than procs
 		func() Params { p := small(4); p.Topology = Topology{Sockets: 2, CostMissRemote: 5}; return p }(), // remote < CostMiss
 		func() Params { p := small(4); p.Topology = Topology{CostMissRemote: 40}; return p }(),            // remote cost on flat
+		func() Params { p := small(4); p.Topology = Topology{CostStealRemote: 9}; return p }(),            // remote steal price on flat
+		func() Params { p := small(4); p.Topology = Topology{CostSteal: -1}; return p }(),                 // negative price
+		func() Params {
+			p := small(4)
+			p.Topology = Topology{Sockets: 2, CostSteal: 9, CostStealRemote: 4} // remote probe cheaper than local
+			return p
+		}(),
 	}
 	for i, b := range bads {
 		if err := b.Validate(); err == nil {
@@ -20,6 +31,9 @@ func TestTopologyValidate(t *testing.T) {
 		{Sockets: 2},
 		{Sockets: 2, CostMissRemote: 40},
 		{Sockets: 4, CostMissRemote: 10},
+		{CostSteal: 5}, // priced steals on the flat machine: every attempt local
+		{Sockets: 2, CostSteal: 5, CostStealRemote: 25},
+		{Sockets: 2, CostStealRemote: 25}, // local probes free, remote priced
 	}
 	for i, tp := range goods {
 		p := small(4)
@@ -112,6 +126,93 @@ func TestWriteMovesOwnership(t *testing.T) {
 	// P2 (socket 1) fetches across: remote.
 	if d := m.Access(2, 0, false, 40); d != 40 {
 		t.Errorf("cross-socket fetch delay %d, want 40", d)
+	}
+}
+
+// TestStealPrice pins the distance pricing of steal attempts: local probes
+// at Topology.CostSteal, cross-socket probes at the effective remote price,
+// and all-zero whenever pricing is off.
+func TestStealPrice(t *testing.T) {
+	pr := small(4)
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40, CostSteal: 5, CostStealRemote: 25}
+	m := MustNew(pr)
+	if !m.StealPriced() {
+		t.Fatal("StealPriced = false with costs set")
+	}
+	if price, remote := m.StealPrice(0, 1); price != 5 || remote {
+		t.Errorf("same-socket probe = (%d, %v), want (5, false)", price, remote)
+	}
+	if price, remote := m.StealPrice(0, 2); price != 25 || !remote {
+		t.Errorf("cross-socket probe = (%d, %v), want (25, true)", price, remote)
+	}
+
+	// CostStealRemote unset: remote probes fall back to the local price but
+	// still count as remote.
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40, CostSteal: 7}
+	m = MustNew(pr)
+	if price, remote := m.StealPrice(0, 3); price != 7 || !remote {
+		t.Errorf("fallback cross-socket probe = (%d, %v), want (7, true)", price, remote)
+	}
+
+	// Priced flat machine: every probe local.
+	pr.Topology = Topology{CostSteal: 4}
+	m = MustNew(pr)
+	if price, remote := m.StealPrice(0, 3); price != 4 || remote {
+		t.Errorf("flat priced probe = (%d, %v), want (4, false)", price, remote)
+	}
+
+	// Pricing off: zero everywhere, including across sockets.
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40}
+	m = MustNew(pr)
+	if m.StealPriced() {
+		t.Error("StealPriced = true with no steal costs")
+	}
+	if price, remote := m.StealPrice(0, 2); price != 0 || remote {
+		t.Errorf("unpriced cross-socket probe = (%d, %v), want (0, false)", price, remote)
+	}
+}
+
+// TestPlaceRange pins the first-touch placement primitive: ownership moves
+// without touching caches, counters, or sharer state, and later fetches
+// price against the new owner's socket.
+func TestPlaceRange(t *testing.T) {
+	pr := small(4) // CostMiss=10
+	pr.Topology = Topology{Sockets: 2, CostMissRemote: 40}
+	m := MustNew(pr)
+
+	m.Access(0, 0, true, 0) // owner 0 (socket 0)
+	m.PlaceRange(3, 0, 1)   // re-place block 0 on P3 (socket 1)
+	if got := m.BlockOwner(0); got != 3 {
+		t.Fatalf("owner after PlaceRange = %d, want 3", got)
+	}
+	// P2 (socket 1) now fetches locally despite P0 having initialized.
+	if d := m.Access(2, 0, false, 10); d != 10 {
+		t.Errorf("post-placement same-socket fetch delay %d, want 10", d)
+	}
+	// Placement itself charged nothing and left P0's copy resident.
+	if got := m.Proc[3].AccessesTimed; got != 0 {
+		t.Errorf("placement counted %d timed accesses on the placer", got)
+	}
+	if !m.SharesBlock(0, 0) {
+		t.Error("placement evicted the initializer's cached copy")
+	}
+
+	// Spanning placement covers every overlapped block.
+	base := m.Alloc.Alloc(3 * pr.B)
+	m.Access(1, base, true, 20)
+	m.AccessRange(1, base, 3*pr.B, true, 30)
+	m.PlaceRange(2, base+1, 2*pr.B) // words [1, 2B+1): overlaps blocks 0..2 of the range
+	for i := 0; i < 3; i++ {
+		if got := m.BlockOwner(base + mem.Addr(i*pr.B)); got != 2 {
+			t.Errorf("spanned block %d owner = %d, want 2", i, got)
+		}
+	}
+
+	// Flat machine: placement is a no-op, not a panic.
+	flat := MustNew(small(2))
+	flat.PlaceRange(1, 0, 64)
+	if got := flat.BlockOwner(0); got != -1 {
+		t.Errorf("flat placement materialized an owner: %d", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package rws
 import (
 	"testing"
 
+	"rwsfs/internal/machine"
 	"rwsfs/internal/mem"
 )
 
@@ -63,6 +64,32 @@ func BenchmarkStealHeavy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(8)
 		cfg.Seed = int64(i + 1)
+		e := MustNewEngine(cfg)
+		out := e.Machine().Alloc.Alloc(512)
+		res := e.Run(func(c *Ctx) {
+			c.ForkN(512, func(j int, c *Ctx) {
+				c.Work(5)
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+		b.ReportMetric(float64(res.Steals), "steals/op")
+	}
+}
+
+// BenchmarkStealPriced is BenchmarkStealHeavy on a four-socket machine with
+// distance-priced steal attempts and the hierarchical probe ladder: every
+// attempt takes the StealPrice/consecFail path and every transfer the
+// provenance-priced miss path. Tracked in BENCH_rws.json (scripts/bench.sh)
+// so pricing stays a branch, not a tax, on the steal hot path.
+func BenchmarkStealPriced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(8)
+		cfg.Seed = int64(i + 1)
+		cfg.Machine.Topology = machine.Topology{
+			Sockets: 4, CostMissRemote: 40,
+			CostSteal: 5, CostStealRemote: 25,
+		}
+		cfg.Policy = Hierarchical{}
 		e := MustNewEngine(cfg)
 		out := e.Machine().Alloc.Alloc(512)
 		res := e.Run(func(c *Ctx) {

@@ -206,6 +206,37 @@ func (c *Ctx) Proc() int { return c.proc }
 // use it to place data near their execution.
 func (c *Ctx) Socket() int { return c.e.mach.SocketOf(c.proc) }
 
+// SocketOf returns the socket the block containing a currently resides on —
+// the socket of its last owner (fetcher or writer) — or -1 when the
+// topology is flat or the block has never been touched or placed.
+// Topology-aware algorithms compare it against Socket() to decide whether
+// consuming a result would cross the interconnect.
+func (c *Ctx) SocketOf(a mem.Addr) int {
+	// Provenance is shared state: order the read like any shared operation
+	// so lower-clocked owners' moves are visible first, identically on the
+	// fast and lockstep paths.
+	c.sync()
+	own := c.e.mach.BlockOwner(a)
+	if own < 0 {
+		return -1
+	}
+	return c.e.mach.SocketOf(own)
+}
+
+// PlaceLocal binds the blocks overlapping the n words at a to the
+// processor executing this strand, modeling NUMA first-touch placement: a
+// forker placing a join or result block here prices its socket peers'
+// later fetches locally instead of inheriting provenance from whoever
+// initialized neighbouring memory. Placement is untimed bookkeeping (like
+// Alloc itself) and a no-op on the flat machine, so paper-configuration
+// runs are unaffected; the range's contents still require timed accesses.
+func (c *Ctx) PlaceLocal(a mem.Addr, n int) {
+	// Ownership is read by every other processor's fetch pricing; order the
+	// placement like any shared operation.
+	c.sync()
+	c.e.mach.PlaceRange(c.proc, a, n)
+}
+
 // Task returns the task (stolen unit) whose kernel this strand belongs to.
 func (c *Ctx) Task() *Task { return c.t }
 

@@ -117,6 +117,14 @@ type Engine struct {
 
 	// fastPath enables run-ahead in Ctx's charge methods.
 	fastPath bool
+	// stealPriced caches mach.StealPriced() so the unpriced attempt path
+	// pays one branch, not a method call.
+	stealPriced bool
+	// consecFail[p] counts p's consecutive failed steal attempts since its
+	// last success; Hierarchical reads it through PolicyView.FailedStreak to
+	// decide when to escalate a probe beyond the thief's socket. Pure
+	// scheduler bookkeeping: it never feeds costs or counters itself.
+	consecFail []int32
 	// heapDirty marks that the baton holder advanced its clock with pure
 	// work charges without re-checking the heap; the next shared-state
 	// operation syncs (fix + possible yield) before touching anything
@@ -181,6 +189,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		running:     make([]*strand, cfg.Machine.P),
 		deques:      make([]deque, cfg.Machine.P),
 		fastPath:    !cfg.DisableFastPath,
+		stealPriced: m.StealPriced(),
+		consecFail:  make([]int32, cfg.Machine.P),
 		baton:       make(chan batonNote, 1),
 		stealBudget: cfg.StealBudget,
 		policy:      cfg.Policy,
@@ -339,6 +349,17 @@ func (e *Engine) stealAttempt(p int) {
 		panic(fmt.Sprintf("rws: policy %q chose invalid victim %d for thief %d of %d",
 			e.policy.Name(), v, p, e.mach.P))
 	}
+	if e.stealPriced {
+		// Distance pricing lands at attempt time — the probe crosses the
+		// interconnect before the thief learns whether the deque has work —
+		// so failed remote probes pay the remote price too.
+		price, remote := e.mach.StealPrice(p, v)
+		e.clock[p] += price
+		pc.StealLatency += price
+		if remote {
+			pc.RemoteSteals++
+		}
+	}
 	if e.stealBudget != 0 {
 		if n := e.deques[v].size(); n > 0 {
 			sp := e.popTop(v)
@@ -349,6 +370,7 @@ func (e *Engine) stealAttempt(p int) {
 			pc.StealsOK++
 			pc.StealTicks += e.mach.CostSteal
 			e.steals++
+			e.consecFail[p] = 0
 			if k := e.policy.Take(n); k > 1 {
 				// Multi-take: the tasks beyond the first migrate to the
 				// thief's own (empty — it just failed popOwnBottom) deque,
@@ -380,6 +402,7 @@ func (e *Engine) stealAttempt(p int) {
 	pc.StealsFail++
 	pc.StealTicks += e.mach.CostFailSteal
 	e.failed++
+	e.consecFail[p]++
 }
 
 // startSpawn begins executing spawn sp on processor p. If stolen, sp becomes

@@ -167,10 +167,13 @@ func goldenCases() []golden {
 // chosen to exercise each policy's distinguishing path: Localized on a
 // two-socket topology (remote fetches priced 4x), StealHalf on a wide
 // ForkN (deep deques make multi-take migrations frequent), Affinity on the
-// false-sharing-heavy adjacent-write workload (warm directory sharer bits).
-// Values were recorded from the introducing implementation and pin policy
-// semantics against drift, exactly like the pre-refactor goldens pin
-// Uniform's.
+// false-sharing-heavy adjacent-write workload (warm directory sharer bits),
+// Hierarchical on a four-socket machine with distance-priced steals (the
+// local-then-remote probe ladder and the attempt-time latency charges), and
+// LatencyAware on a priced two-socket machine (expected-cost scoring over
+// deque sizes and socket distance). Values were recorded from the
+// introducing implementation and pin policy semantics against drift,
+// exactly like the pre-refactor goldens pin Uniform's.
 func policyGoldenCases() []golden {
 	return []golden{
 		{
@@ -246,6 +249,76 @@ func policyGoldenCases() []golden {
 			steals: 11, failedSteals: 58, spawns: 127, inlinePops: 116, idlePops: 0, usurpations: 8,
 			migrated: 0, transfersTot: 40, transfersMax: 9, maxWriteCount: -1,
 		},
+		{
+			name: "hierarchical-4sock-p8-priced",
+			cfg: func() Config {
+				c := DefaultConfig(8)
+				c.Seed = 37
+				c.Policy = Hierarchical{}
+				c.Machine.Topology = machine.Topology{
+					Sockets: 4, CostMissRemote: 40,
+					CostSteal: 5, CostStealRemote: 25,
+				}
+				return c
+			},
+			words: 512,
+			workload: func(c *Ctx, base mem.Addr) {
+				var rec func(c *Ctx, lo, hi int)
+				rec = func(c *Ctx, lo, hi int) {
+					if hi-lo <= 2 {
+						for i := lo; i < hi; i++ {
+							c.Work(machine.Tick(3 + (i%7)*11))
+							c.StoreInt(base+mem.Addr(i*4%512), int64(i))
+						}
+						return
+					}
+					mid := lo + (hi-lo)/3 + 1 // lopsided: keeps thieves hungry
+					c.Fork(
+						func(c *Ctx) { rec(c, lo, mid) },
+						func(c *Ctx) { rec(c, mid, hi) })
+				}
+				rec(c, 0, 96)
+			},
+			// Hierarchical keeps the probe ladder local: only 44 of 208
+			// attempts cross sockets (uniform would expect ~6/7 of them to).
+			makespan: 1139,
+			totals: machine.ProcCounters{WorkTicks: 3609, CacheMisses: 68, BlockMisses: 11,
+				MissStall: 1330, BlockWait: 45, StealsOK: 21, StealsFail: 187, StealTicks: 2290,
+				Usurpations: 14, NodesExecuted: 112, AccessesTimed: 229, InvalidationsSent: 43,
+				RemoteFetches: 18, RemoteSteals: 44, StealLatency: 1920},
+			steals: 21, failedSteals: 187, spawns: 56, inlinePops: 35, idlePops: 0, usurpations: 14,
+			migrated: 0, transfersTot: 79, transfersMax: 5, maxWriteCount: -1,
+		},
+		{
+			name: "latencyaware-2sock-p6-priced",
+			cfg: func() Config {
+				c := DefaultConfig(6)
+				c.Seed = 58
+				c.Policy = LatencyAware{}
+				c.Machine.Topology = machine.Topology{
+					Sockets: 2, CostMissRemote: 30,
+					CostSteal: 4, CostStealRemote: 20,
+				}
+				return c
+			},
+			words: 256,
+			workload: func(c *Ctx, base mem.Addr) {
+				c.ForkN(128, func(j int, c *Ctx) {
+					c.Work(machine.Tick(1 + j%5))
+					c.StoreInt(base+mem.Addr(j*2%256), int64(j))
+				})
+			},
+			// Same workload and seed as stealhalf-p6, now expected-cost
+			// scored on a priced 2-socket machine: 18 of 82 attempts go
+			// remote (uniform would expect ~3/5).
+			makespan: 551,
+			totals: machine.ProcCounters{WorkTicks: 763, CacheMisses: 63, BlockMisses: 3,
+				MissStall: 920, BlockWait: 44, StealsOK: 22, StealsFail: 60, StealTicks: 1040,
+				Usurpations: 18, NodesExecuted: 254, AccessesTimed: 404, InvalidationsSent: 35,
+				RemoteFetches: 13, RemoteSteals: 18, StealLatency: 616},
+			steals: 22, failedSteals: 60, spawns: 127, inlinePops: 105, idlePops: 0, usurpations: 18,
+			migrated: 0, transfersTot: 66, transfersMax: 7, maxWriteCount: -1,
+		},
 	}
 }
 
@@ -290,13 +363,13 @@ func TestGoldenDeterminism(t *testing.T) {
 			if t.Failed() {
 				// Emit a ready-to-paste literal so re-pinning after an
 				// *intentional* semantic change is mechanical.
-				t.Logf("observed: makespan: %d,\ntotals: machine.ProcCounters{WorkTicks: %d, CacheMisses: %d, BlockMisses: %d, MissStall: %d, BlockWait: %d, StealsOK: %d, StealsFail: %d, StealTicks: %d, Usurpations: %d, NodesExecuted: %d, AccessesTimed: %d, InvalidationsSent: %d, RemoteFetches: %d},\nsteals: %d, failedSteals: %d, spawns: %d, inlinePops: %d, idlePops: %d, usurpations: %d, migrated: %d,\ntransfersTot: %d, transfersMax: %d, maxWriteCount: %d,",
+				t.Logf("observed: makespan: %d,\ntotals: machine.ProcCounters{WorkTicks: %d, CacheMisses: %d, BlockMisses: %d, MissStall: %d, BlockWait: %d, StealsOK: %d, StealsFail: %d, StealTicks: %d, Usurpations: %d, NodesExecuted: %d, AccessesTimed: %d, InvalidationsSent: %d, RemoteFetches: %d, RemoteSteals: %d, StealLatency: %d},\nsteals: %d, failedSteals: %d, spawns: %d, inlinePops: %d, idlePops: %d, usurpations: %d, migrated: %d,\ntransfersTot: %d, transfersMax: %d, maxWriteCount: %d,",
 					res.Makespan,
 					res.Totals.WorkTicks, res.Totals.CacheMisses, res.Totals.BlockMisses,
 					res.Totals.MissStall, res.Totals.BlockWait, res.Totals.StealsOK,
 					res.Totals.StealsFail, res.Totals.StealTicks, res.Totals.Usurpations,
 					res.Totals.NodesExecuted, res.Totals.AccessesTimed, res.Totals.InvalidationsSent,
-					res.Totals.RemoteFetches,
+					res.Totals.RemoteFetches, res.Totals.RemoteSteals, res.Totals.StealLatency,
 					res.Steals, res.FailedSteals, res.Spawns, res.InlinePops, res.IdlePops,
 					res.Usurpations, res.SpawnsMigrated, res.BlockTransfersTotal, res.BlockTransfersMax, res.MaxWriteCount)
 			}

@@ -19,7 +19,8 @@ type invariantConfig struct {
 
 // randomInvariantConfig draws a small but varied configuration: processor
 // counts 1..8, block sizes 4..32, tight and unlimited budgets, flat and
-// multi-socket topologies.
+// multi-socket topologies, and unpriced as well as distance-priced steal
+// attempts (including priced-but-flat, where every attempt is local).
 func randomInvariantConfig(rng *rand.Rand) invariantConfig {
 	p := 1 + rng.Intn(8)
 	cfg := DefaultConfig(p)
@@ -38,6 +39,14 @@ func randomInvariantConfig(rng *rand.Rand) invariantConfig {
 			Sockets:        sockets,
 			CostMissRemote: cfg.Machine.CostMiss * machine.Tick(1+rng.Intn(4)),
 		}
+		if rng.Intn(2) == 0 {
+			local := machine.Tick(rng.Intn(8))
+			cfg.Machine.Topology.CostSteal = local
+			cfg.Machine.Topology.CostStealRemote = local + machine.Tick(1+rng.Intn(24))
+		}
+	} else if rng.Intn(4) == 0 {
+		// Priced steals on the flat machine: every attempt at the local price.
+		cfg.Machine.Topology.CostSteal = machine.Tick(1 + rng.Intn(8))
 	}
 	return invariantConfig{
 		cfg:    cfg,
@@ -57,7 +66,11 @@ func randomInvariantConfig(rng *rand.Rand) invariantConfig {
 //     computation (each leaf reads its processor's clock under the baton);
 //   - steal count within the configured StealBudget;
 //   - migration bookkeeping: only multi-take policies migrate, and the
-//     final Result's totals match the per-processor counters.
+//     final Result's totals match the per-processor counters;
+//   - steal-cost conservation: the distance-priced steal latency equals
+//     priced attempts × configured costs exactly — local attempts at
+//     Topology.CostSteal, cross-socket attempts (RemoteSteals) at the
+//     effective remote price — and is identically zero when pricing is off.
 func runInvariantCase(t *testing.T, ic invariantConfig, pol StealPolicy, disableFastPath bool) Result {
 	t.Helper()
 	cfg := ic.cfg
@@ -126,6 +139,40 @@ func runInvariantCase(t *testing.T, ic invariantConfig, pol StealPolicy, disable
 	if res.Totals != sumCounters(res.PerProc) {
 		t.Errorf("%s: Totals %+v != per-proc sum %+v", pol.Name(), res.Totals, sumCounters(res.PerProc))
 	}
+	// Steal-cost conservation. Every priced attempt is counted in StealsOK or
+	// StealsFail (the P==1 no-victim path neither counts nor prices), so the
+	// charged latency must reconstruct exactly from the attempt counts and
+	// the topology's configured costs — per processor, not just in total.
+	topo := cfg.Machine.Topology
+	localCost, remoteCost := topo.CostSteal, topo.CostStealRemote
+	if remoteCost == 0 {
+		remoteCost = localCost
+	}
+	for pi := range res.PerProc {
+		pc := &res.PerProc[pi]
+		if !topo.StealPriced() {
+			if pc.StealLatency != 0 || pc.RemoteSteals != 0 {
+				t.Errorf("%s: proc %d charged steal latency %d / %d remote probes with pricing off",
+					pol.Name(), pi, pc.StealLatency, pc.RemoteSteals)
+			}
+			continue
+		}
+		attempts := pc.StealsOK + pc.StealsFail
+		if pc.RemoteSteals > attempts {
+			t.Errorf("%s: proc %d counted %d remote probes out of %d attempts",
+				pol.Name(), pi, pc.RemoteSteals, attempts)
+			continue
+		}
+		want := machine.Tick(attempts-pc.RemoteSteals)*localCost + machine.Tick(pc.RemoteSteals)*remoteCost
+		if pc.StealLatency != want {
+			t.Errorf("%s: proc %d steal latency %d != %d local x %d + %d remote x %d = %d",
+				pol.Name(), pi, pc.StealLatency, attempts-pc.RemoteSteals, localCost,
+				pc.RemoteSteals, remoteCost, want)
+		}
+	}
+	if topo.Flat() && res.Totals.RemoteSteals != 0 {
+		t.Errorf("%s: flat topology counted %d remote steal probes", pol.Name(), res.Totals.RemoteSteals)
+	}
 	return res
 }
 
@@ -146,6 +193,8 @@ func sumCounters(per []machine.ProcCounters) machine.ProcCounters {
 		t.AccessesTimed += c.AccessesTimed
 		t.InvalidationsSent += c.InvalidationsSent
 		t.RemoteFetches += c.RemoteFetches
+		t.RemoteSteals += c.RemoteSteals
+		t.StealLatency += c.StealLatency
 	}
 	return t
 }

@@ -1,6 +1,10 @@
 package rws
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"rwsfs/internal/machine"
+)
 
 // StealPolicy decides, for each steal attempt by an idle processor, which
 // victim to target and how many tasks a successful steal takes off the
@@ -56,6 +60,20 @@ func (v *PolicyView) Socket(p int) int { return v.e.mach.SocketOf(p) }
 
 // SocketSpan returns the half-open processor range of p's socket.
 func (v *PolicyView) SocketSpan(p int) (lo, hi int) { return v.e.mach.SocketSpan(p) }
+
+// StealPrice returns the distance-dependent latency a steal attempt by
+// thief against victim would be charged at attempt time — 0 everywhere when
+// the topology leaves steal pricing off. Latency-aware policies rank
+// candidate victims by it.
+func (v *PolicyView) StealPrice(thief, victim int) machine.Tick {
+	price, _ := v.e.mach.StealPrice(thief, victim)
+	return price
+}
+
+// FailedStreak returns how many consecutive steal attempts by p have failed
+// since its last successful steal. Hierarchical policies use it to widen
+// the victim pool only after local probes keep coming up empty.
+func (v *PolicyView) FailedStreak(p int) int { return int(v.e.consecFail[p]) }
 
 // ThiefCachesTop reports whether thief already holds the block of the
 // join flag belonging to the task at the top of victim's deque. The join
@@ -189,10 +207,114 @@ func (a Affinity) Victim(view *PolicyView, thief int, rng *rand.Rand) int {
 // Take implements StealPolicy: one task per steal.
 func (Affinity) Take(int) int { return 1 }
 
+// Hierarchical probes strictly inside the thief's socket first and widens
+// only on sustained failure: after LocalProbes consecutive failed attempts
+// (the engine-tracked FailedStreak) the next probe targets a uniform victim
+// *outside* the socket, then the ladder restarts. Under distance-priced
+// stealing this keeps almost every attempt — successful or not — at the
+// cheap local price, paying the cross-interconnect premium only when the
+// local socket is demonstrably drained; cf. the socket-then-core fallback
+// of localized work stealing (Suksompong et al.). On a flat topology every
+// processor is a socket peer and the policy is draw-for-draw identical to
+// Uniform.
+type Hierarchical struct {
+	// LocalProbes is how many consecutive failed attempts stay
+	// socket-local before one remote probe; values < 1 mean the default 3.
+	LocalProbes int
+}
+
+// Name implements StealPolicy.
+func (Hierarchical) Name() string { return "hierarchical" }
+
+// Victim implements StealPolicy: uniform over socket peers until the
+// failed-attempt streak earns a remote probe, then uniform over the other
+// sockets' processors.
+func (h Hierarchical) Victim(view *PolicyView, thief int, rng *rand.Rand) int {
+	k := h.LocalProbes
+	if k < 1 {
+		k = 3
+	}
+	lo, hi := view.SocketSpan(thief)
+	peers := hi - lo - 1
+	outside := view.P() - (hi - lo)
+	if peers > 0 && (outside == 0 || view.FailedStreak(thief)%(k+1) < k) {
+		w := lo + rng.Intn(peers)
+		if w >= thief {
+			w++
+		}
+		return w
+	}
+	if outside == 0 {
+		// peers == 0 && outside == 0 means P == 1, and the engine never
+		// consults a policy without a potential victim.
+		panic("rws: Hierarchical.Victim called with no possible victim")
+	}
+	w := rng.Intn(outside)
+	if w >= lo {
+		w += hi - lo
+	}
+	return w
+}
+
+// Take implements StealPolicy: one task per steal.
+func (Hierarchical) Take(int) int { return 1 }
+
+// LatencyAware scores a few uniformly probed candidates by the expected
+// cost of directing the attempt at them and picks the cheapest: a victim
+// with an empty deque wastes the whole attempt (worst), then lower
+// distance price wins (PolicyView.StealPrice — socket distance under
+// priced stealing, uniformly zero otherwise), then the deeper deque (a
+// stolen task from a deep deque amortizes the probe over more future local
+// work). Ties keep the earlier probe, so with pricing off and equal deques
+// the policy degenerates to Affinity-style first-probe selection.
+type LatencyAware struct {
+	// Probes is the number of candidate victims scored; values < 1 mean
+	// the default 3.
+	Probes int
+}
+
+// Name implements StealPolicy.
+func (LatencyAware) Name() string { return "latencyaware" }
+
+// Victim implements StealPolicy: cheapest expected-cost candidate of
+// Probes uniform draws.
+func (l LatencyAware) Victim(view *PolicyView, thief int, rng *rand.Rand) int {
+	probes := l.Probes
+	if probes < 1 {
+		probes = 3
+	}
+	best := -1
+	bestLen := 0
+	var bestPrice machine.Tick
+	for t := 0; t < probes; t++ {
+		w := uniformVictim(view, thief, rng)
+		n := view.QueueLen(w)
+		price := view.StealPrice(thief, w)
+		better := best < 0
+		if !better {
+			switch {
+			case (n > 0) != (bestLen > 0):
+				better = n > 0
+			case price != bestPrice:
+				better = price < bestPrice
+			default:
+				better = n > bestLen
+			}
+		}
+		if better {
+			best, bestLen, bestPrice = w, n, price
+		}
+	}
+	return best
+}
+
+// Take implements StealPolicy: one task per steal.
+func (LatencyAware) Take(int) int { return 1 }
+
 // Policies returns one instance of every built-in policy, in a fixed
 // order, for sweeps and tests.
 func Policies() []StealPolicy {
-	return []StealPolicy{Uniform{}, Localized{}, StealHalf{}, Affinity{}}
+	return []StealPolicy{Uniform{}, Localized{}, StealHalf{}, Affinity{}, Hierarchical{}, LatencyAware{}}
 }
 
 // PolicyByName resolves a built-in policy (with default parameters) from

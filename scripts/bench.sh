@@ -6,7 +6,9 @@
 #
 # Runs `go test -bench=. -benchmem -count=3` on the two hot packages
 # (internal/machine: coherence core; internal/rws: engine step loop,
-# fork-join throughput and steal-heavy workloads) and keeps, per benchmark,
+# fork-join throughput, steal-heavy workloads, and BenchmarkStealPriced —
+# the distance-priced steal path on a four-socket topology, tracked so
+# steal pricing stays a branch, not a tax) and keeps, per benchmark,
 # the best ns/op of the three runs (min is the right summary for noise on a
 # shared host). The JSON also carries a frozen "seed_reference" section: the
 # same benchmarks measured against the pre-refactor seed implementation
