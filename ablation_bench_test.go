@@ -23,10 +23,16 @@ import (
 	"rwsfs/internal/rws"
 )
 
+// ablationPool reuses engines across ablation iterations like the
+// experiment sweeps do.
+var ablationPool harness.Runner
+
 func runOnce(b *testing.B, mk harness.Maker, cfg rws.Config) rws.Result {
 	b.Helper()
-	e, root := mk(cfg)
-	return e.Run(root)
+	e, root := mk(&ablationPool, cfg)
+	res := e.Run(root)
+	ablationPool.Recycle(e)
+	return res
 }
 
 func BenchmarkAblationStealCostRatio(b *testing.B) {

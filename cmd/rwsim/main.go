@@ -149,9 +149,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	e, root := mk(cfg)
+	// One-shot pool: the sequential baseline below reuses the priced run's
+	// engine via Reset instead of constructing a second machine.
+	var pool harness.Runner
+	defer pool.Close()
+	e, root := mk(&pool, cfg)
 	res := e.Run(root)
 	report(stdout, *alg, *n, res, *policyName)
+	pool.Recycle(e)
 
 	if *seq && *p > 1 {
 		c1 := cfg
@@ -160,8 +165,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// machine; keeping a multi-socket topology or distance pricing
 		// would fail validation (and could not fire anyway: no victims).
 		c1.Machine.Topology = machine.Topology{}
-		e1, root1 := mk(c1)
+		e1, root1 := mk(&pool, c1)
 		r1 := e1.Run(root1)
+		pool.Recycle(e1)
 		fmt.Fprintf(stdout, "%-24s %d\n", "seq makespan:", r1.Makespan)
 		fmt.Fprintf(stdout, "%-24s %.2fx\n", "speedup:", float64(r1.Makespan)/float64(res.Makespan))
 	}

@@ -100,6 +100,38 @@
 //     (p, budget, seed) runs out across host workers (experiments -par)
 //     with ordered results, so sweep output is byte-identical to serial.
 //
+// # Engine reuse (the Reset lifecycle)
+//
+// The sweeps run thousands of independent simulations, and PR 2's in-run
+// pooling left *between-run* construction as the dominant per-run overhead
+// (BenchmarkStealHeavy: ~380 KB and ~230 allocs/op, nearly all setup). The
+// whole stack therefore supports in-place reinitialization:
+//
+//   - rws.Engine.Reset(cfg) readies a finished engine for another Run under
+//     an arbitrarily different Config (P, policy, topology, pricing,
+//     budget). Slabs, free lists, deque ring buffers, the clock heap and the
+//     parked strand goroutines all survive; a reset engine is persistent and
+//     must be released with Close when retired.
+//   - machine.Machine.Reset(params) resets coherence state by *generation
+//     stamp*: cache-index and directory pages carry the generation they were
+//     last valid in, a reset bumps the counter in O(1), and a stale page is
+//     re-zeroed lazily on first touch — no O(arena) zeroing, no
+//     reallocation. mem.Memory moves its value pages to a free list and
+//     re-zeroes them on next materialization; exec.Pool recycles Stack
+//     structs while letting regions re-allocate so created/reused stats and
+//     addresses match a fresh run exactly.
+//   - harness.Runner pools reset engines under the experiment sweeps: every
+//     builder draws from the pool, so a full E01–E21 sweep constructs about
+//     one engine per worker instead of one per run. Result.PerProc snapshots
+//     are skipped on the sweep path (Engine.RunLean); callers that want
+//     counters use Engine.CopyCounters with a buffer they own.
+//
+// Reused runs are bit-for-bit identical to fresh-engine runs — goldens
+// (TestGoldenDeterminismReused), a randomized heterogeneous-sequence
+// differential (TestEngineReuseMatchesFresh) and FuzzEngineReuse pin this —
+// and the steady state allocates ~4 times per run (ceiling 10, enforced by
+// scripts/bench.sh and CI on BenchmarkStealHeavyReuse/BenchmarkForkJoinReuse).
+//
 // Semantics are pinned by differential tests against the straightforward
 // reference implementations (container/list LRU, map-based coherence, the
 // lockstep scheduling path via Config.DisableFastPath) and by golden

@@ -15,6 +15,10 @@ import (
 
 func main() {
 	const p = 8
+	// One engine, Reset per run: every (variant, n, seed) point reuses the
+	// same simulator backing through the harness pool.
+	var pool harness.Runner
+	defer pool.Close()
 	fmt.Println("Lemma 7.1: steals of the three MM variants as n doubles (p=8, seed-averaged)")
 	fmt.Printf("%6s %26s %10s %10s %10s\n", "n", "variant", "steals", "blockMiss", "makespan")
 	for _, n := range []int{16, 32, 64} {
@@ -27,8 +31,9 @@ func main() {
 			for seed := int64(1); seed <= seeds; seed++ {
 				cfg := rws.DefaultConfig(p)
 				cfg.Seed = seed
-				e, root := mk(cfg)
+				e, root := mk(&pool, cfg)
 				res := e.Run(root)
+				pool.Recycle(e)
 				steals += res.Steals
 				bm += res.Totals.BlockMisses
 				span += int64(res.Makespan)
@@ -53,8 +58,9 @@ func main() {
 			cfg.Seed = seed
 			cfg.Machine.B = 32
 			cfg.Machine.M = 8192
-			e, root := mk(cfg)
+			e, root := mk(&pool, cfg)
 			res := e.Run(root)
+			pool.Recycle(e)
 			steals += res.Steals
 			bm += res.Totals.BlockMisses
 		}

@@ -16,6 +16,7 @@ package fft
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"rwsfs/internal/machine"
 	"rwsfs/internal/mem"
@@ -152,6 +153,10 @@ func omega(n, k int) complex128 {
 	return cmplx.Exp(complex(0, ang))
 }
 
+// fftScratch pools the kernel's host staging buffer across the many
+// thousands of base-case transforms a sweep runs.
+var fftScratch = sync.Pool{New: func() any { return new([]complex128) }}
+
 // kernel computes an in-place iterative radix-2 FFT of size m (a power of
 // two ≤ Base): one streamed read, m·log m work, one streamed write.
 func kernel(c *rws.Ctx, arr mem.Addr, m int) {
@@ -159,7 +164,11 @@ func kernel(c *rws.Ctx, arr mem.Addr, m int) {
 	c.ReadRange(arr, 2*m)
 	c.Work(machine.Tick(5 * m * log2(m+1)))
 	mm := c.Mem()
-	v := make([]complex128, m)
+	buf := fftScratch.Get().(*[]complex128)
+	if cap(*buf) < m {
+		*buf = make([]complex128, m)
+	}
+	v := (*buf)[:m]
 	for i := range v {
 		v[i] = complex(mm.LoadFloat(arr+mem.Addr(2*i)), mm.LoadFloat(arr+mem.Addr(2*i+1)))
 	}
@@ -168,6 +177,7 @@ func kernel(c *rws.Ctx, arr mem.Addr, m int) {
 		mm.StoreFloat(arr+mem.Addr(2*i), real(x))
 		mm.StoreFloat(arr+mem.Addr(2*i+1), imag(x))
 	}
+	fftScratch.Put(buf)
 	c.WriteRange(arr, 2*m)
 }
 

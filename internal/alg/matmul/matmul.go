@@ -20,6 +20,7 @@ package matmul
 
 import (
 	"fmt"
+	"sync"
 
 	"rwsfs/internal/layout"
 	"rwsfs/internal/machine"
@@ -170,6 +171,44 @@ func mmLocal(c *rws.Ctx, cfg Config, a, b, out matrix.Mat, oneCollection bool) {
 	c.Free(uSeg)
 }
 
+// kernelScratch is the host-side staging buffer of one base-case multiply:
+// three row-major views plus the Morton permutation for the current size.
+// Pooled because the sweeps run millions of base cases — the staging scratch
+// was the single largest allocation source of a full experiment run. Each
+// borrower holds its own scratch, so concurrent engines (and strands
+// yielding mid-kernel) never share one.
+type kernelScratch struct {
+	av, bv, ov []float64
+	perm       []int32 // perm[r*m+c] = MortonIndex(r, c), for the current m
+	m          int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// resize readies the scratch for an m x m base case, rebuilding the Morton
+// permutation only when the size changed since the scratch's last use.
+func (ks *kernelScratch) resize(m int) {
+	words := m * m
+	if cap(ks.av) < words {
+		ks.av = make([]float64, words)
+		ks.bv = make([]float64, words)
+		ks.ov = make([]float64, words)
+	}
+	ks.av, ks.bv, ks.ov = ks.av[:words], ks.bv[:words], ks.ov[:words]
+	if ks.m != m {
+		if cap(ks.perm) < words {
+			ks.perm = make([]int32, words)
+		}
+		ks.perm = ks.perm[:words]
+		for r := 0; r < m; r++ {
+			for cc := 0; cc < m; cc++ {
+				ks.perm[r*m+cc] = int32(layout.MortonIndex(r, cc))
+			}
+		}
+		ks.m = m
+	}
+}
+
 // kernel is the base-case multiply on BI-contiguous operands: out = a·b, or
 // out += a·b when accumulate is set. It times one streaming pass over each
 // operand, then computes on the (now charged) values directly.
@@ -186,13 +225,15 @@ func kernel(c *rws.Ctx, a, b, out matrix.Mat, accumulate bool) {
 
 	mm := c.Mem()
 	// Stage into row-major host scratch to keep the triple loop simple.
-	av := unpack(mm, a)
-	bv := unpack(mm, b)
-	var ov []float64
+	ks := scratchPool.Get().(*kernelScratch)
+	ks.resize(m)
+	av, bv, ov := ks.av, ks.bv, ks.ov
+	unpack(mm, a, av, ks.perm)
+	unpack(mm, b, bv, ks.perm)
 	if accumulate {
-		ov = unpack(mm, out)
+		unpack(mm, out, ov, ks.perm)
 	} else {
-		ov = make([]float64, words)
+		clear(ov)
 	}
 	for i := 0; i < m; i++ {
 		for k := 0; k < m; k++ {
@@ -207,27 +248,23 @@ func kernel(c *rws.Ctx, a, b, out matrix.Mat, accumulate bool) {
 			}
 		}
 	}
-	pack(mm, out, ov)
+	pack(mm, out, ov, ks.perm)
 	c.WriteRange(out.Base, words)
+	scratchPool.Put(ks)
 }
 
-// unpack copies a BI-contiguous matrix into a row-major host slice.
-func unpack(mm *mem.Memory, m matrix.Mat) []float64 {
-	out := make([]float64, m.N*m.N)
-	for r := 0; r < m.N; r++ {
-		for cc := 0; cc < m.N; cc++ {
-			out[r*m.N+cc] = mm.LoadFloat(m.Base + mem.Addr(layout.MortonIndex(r, cc)))
-		}
+// unpack copies a BI-contiguous matrix into a row-major host slice using the
+// precomputed Morton permutation.
+func unpack(mm *mem.Memory, m matrix.Mat, out []float64, perm []int32) {
+	for i, mi := range perm {
+		out[i] = mm.LoadFloat(m.Base + mem.Addr(mi))
 	}
-	return out
 }
 
 // pack copies a row-major host slice into a BI-contiguous matrix.
-func pack(mm *mem.Memory, m matrix.Mat, vals []float64) {
-	for r := 0; r < m.N; r++ {
-		for cc := 0; cc < m.N; cc++ {
-			mm.StoreFloat(m.Base+mem.Addr(layout.MortonIndex(r, cc)), vals[r*m.N+cc])
-		}
+func pack(mm *mem.Memory, m matrix.Mat, vals []float64, perm []int32) {
+	for i, mi := range perm {
+		mm.StoreFloat(m.Base+mem.Addr(mi), vals[i])
 	}
 }
 

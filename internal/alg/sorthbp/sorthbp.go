@@ -21,7 +21,8 @@ package sorthbp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"rwsfs/internal/machine"
 	"rwsfs/internal/mem"
@@ -89,6 +90,11 @@ func log2ceil(x int) int {
 	return l
 }
 
+// sortScratch pools the kernel's host staging buffer: the sweeps run many
+// thousands of base-case sorts, and the per-call slice was pure GC churn. A
+// buffer is only held between timed requests, never across one.
+var sortScratch = sync.Pool{New: func() any { return new([]int64) }}
+
 // kernelSort reads [arr, arr+n), sorts on the host, writes back, charging
 // n·ceil(log2 n) work: the base case of both recursions.
 func kernelSort(c *rws.Ctx, arr mem.Addr, n int) {
@@ -100,20 +106,25 @@ func kernelSort(c *rws.Ctx, arr mem.Addr, n int) {
 	c.ReadRange(arr, n)
 	c.Work(machine.Tick(n * log2ceil(n)))
 	mm := c.Mem()
-	vals := make([]int64, n)
+	buf := sortScratch.Get().(*[]int64)
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	vals := (*buf)[:n]
 	for i := range vals {
 		vals[i] = mm.LoadInt(arr + mem.Addr(i))
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	slices.Sort(vals)
 	for i, v := range vals {
 		mm.StoreInt(arr+mem.Addr(i), v)
 	}
+	sortScratch.Put(buf)
 	c.WriteRange(arr, n)
 }
 
 // Sequential is the oracle.
 func Sequential(in []int64) []int64 {
 	out := append([]int64(nil), in...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

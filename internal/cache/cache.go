@@ -51,7 +51,13 @@ type Cache struct {
 	nodes    []node // len capacity+1; nodes[0] is the sentinel
 	free     int32  // head of the free-node chain; 0 when exhausted
 	// index maps BlockID → node index + paged lazily; entry 0 means absent.
-	index [][]int32
+	// A page's entries are only meaningful while pageGen matches gen: Reset
+	// invalidates the whole index by bumping gen, and a stale page is
+	// re-zeroed lazily when next touched, so resetting costs O(capacity)
+	// rather than O(materialized index).
+	index   [][]int32
+	pageGen []uint32
+	gen     uint32
 	// idxArena is the chunk new index pages are carved from.
 	idxArena []int32
 }
@@ -69,6 +75,27 @@ func New(capacity int) *Cache {
 	return c
 }
 
+// Reset empties the cache for another run, adopting a (possibly different)
+// capacity. The recency nodes are rebuilt and the block index is invalidated
+// in O(1) by bumping the index generation; materialized index pages are kept
+// and lazily re-zeroed on first touch, so a reused cache allocates nothing
+// in steady state.
+func (c *Cache) Reset(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity %d", capacity))
+	}
+	if capacity != c.capacity {
+		c.capacity = capacity
+		if cap(c.nodes) >= capacity+1 {
+			c.nodes = c.nodes[:capacity+1]
+		} else {
+			c.nodes = make([]node, capacity+1)
+		}
+	}
+	c.reset()
+	c.gen++
+}
+
 // reset empties the recency list and rebuilds the free chain 1→2→…→capacity.
 func (c *Cache) reset() {
 	c.nodes[0].prev, c.nodes[0].next = 0, 0
@@ -80,28 +107,38 @@ func (c *Cache) reset() {
 	c.size = 0
 }
 
-// lookup returns the node index of b, or 0 if b is not resident.
+// lookup returns the node index of b, or 0 if b is not resident. A page left
+// over from before the last Reset (stale generation) reads as absent.
 func (c *Cache) lookup(b mem.BlockID) int32 {
 	pg := uint64(b) >> idxPageShift
-	if pg >= uint64(len(c.index)) || c.index[pg] == nil {
+	if pg >= uint64(len(c.index)) || c.index[pg] == nil || c.pageGen[pg] != c.gen {
 		return 0
 	}
 	return c.index[pg][uint64(b)&(idxPageLen-1)]
 }
 
-// slot returns the index cell for b, materializing its page.
+// slot returns the index cell for b, materializing its page — or, after a
+// Reset, re-zeroing a stale page in place and revalidating its generation.
 func (c *Cache) slot(b mem.BlockID) *int32 {
 	pg := uint64(b) >> idxPageShift
 	if pg >= uint64(len(c.index)) {
 		grown := make([][]int32, pg+1)
 		copy(grown, c.index)
 		c.index = grown
+		grownGen := make([]uint32, pg+1)
+		copy(grownGen, c.pageGen)
+		c.pageGen = grownGen
 	}
-	if c.index[pg] == nil {
+	switch {
+	case c.index[pg] == nil:
 		if len(c.idxArena) < idxPageLen {
 			c.idxArena = make([]int32, idxArenaPages*idxPageLen)
 		}
 		c.index[pg], c.idxArena = c.idxArena[:idxPageLen:idxPageLen], c.idxArena[idxPageLen:]
+		c.pageGen[pg] = c.gen
+	case c.pageGen[pg] != c.gen:
+		clear(c.index[pg])
+		c.pageGen[pg] = c.gen
 	}
 	return &c.index[pg][uint64(b)&(idxPageLen-1)]
 }

@@ -164,3 +164,32 @@ func TestNewValidates(t *testing.T) {
 	}()
 	New(0)
 }
+
+func TestCacheReset(t *testing.T) {
+	c := New(4)
+	for b := mem.BlockID(0); b < 4; b++ {
+		c.Insert(b)
+	}
+	c.Reset(4)
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", c.Len())
+	}
+	// Stale index pages must read as absent (generation bump), and
+	// revalidate lazily on insert.
+	for b := mem.BlockID(0); b < 4; b++ {
+		if c.Contains(b) {
+			t.Errorf("block %d still resident after Reset", b)
+		}
+	}
+	c.Insert(2)
+	if !c.Contains(2) || c.Len() != 1 {
+		t.Error("insert after Reset broken")
+	}
+	// Reset to a different capacity changes eviction behaviour accordingly.
+	c.Reset(2)
+	c.Insert(10)
+	c.Insert(11)
+	if v, ev := c.Insert(12); !ev || v != 10 {
+		t.Errorf("capacity-2 reset cache evicted (%d,%v), want (10,true)", v, ev)
+	}
+}

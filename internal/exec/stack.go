@@ -66,6 +66,11 @@ func (s *Stack) init(base mem.Addr, words int) {
 	s.words = words
 	s.free = s.spanBuf[:1:len(s.spanBuf)]
 	s.free[0] = span{base, words}
+	// A recycled Stack struct (Pool.Reset) must be indistinguishable from a
+	// fresh one: the usage statistics restart with the region.
+	s.inUse = 0
+	s.peak = 0
+	s.nAlloc = 0
 }
 
 // Base returns the region's first address.
@@ -176,11 +181,17 @@ func (s *Stack) FreeSpans() []Seg {
 // path and the handful of classes a run touches makes the slice both smaller
 // and hash-free.
 type Pool struct {
-	alloc   *mem.Allocator
-	free    [][]*Stack // free[i] holds stacks of class minClass << i
-	slab    []Stack    // fresh Stack structs are carved from here
-	created int
-	reused  int
+	alloc *mem.Allocator
+	free  [][]*Stack // free[i] holds stacks of class minClass << i
+	slab  []Stack    // fresh Stack structs are carved from here
+	// all tracks every Stack struct the pool ever carved, and structFree the
+	// ones currently available for re-init: Reset moves all of them back so
+	// the next run re-binds recycled structs to freshly allocated regions
+	// instead of carving new ones.
+	all        []*Stack
+	structFree []*Stack
+	created    int
+	reused     int
 }
 
 // minClass is the smallest stack size class in words; classes are the
@@ -218,11 +229,19 @@ func (p *Pool) Get(words int) *Stack {
 	}
 	base := p.alloc.Alloc(class)
 	p.created++
-	if len(p.slab) == 0 {
-		p.slab = make([]Stack, 16)
+	var s *Stack
+	if n := len(p.structFree); n > 0 {
+		s = p.structFree[n-1]
+		p.structFree[n-1] = nil
+		p.structFree = p.structFree[:n-1]
+	} else {
+		if len(p.slab) == 0 {
+			p.slab = make([]Stack, 16)
+		}
+		s = &p.slab[0]
+		p.slab = p.slab[1:]
+		p.all = append(p.all, s)
 	}
-	s := &p.slab[0]
-	p.slab = p.slab[1:]
 	s.init(base, class)
 	return s
 }
@@ -238,3 +257,21 @@ func (p *Pool) Put(s *Stack) {
 
 // Stats reports how many regions were created fresh vs recycled.
 func (p *Pool) Stats() (created, reused int) { return p.created, p.reused }
+
+// Reset prepares the pool for another run over a reset allocator. The old
+// regions' addresses are meaningless once the allocator restarts from zero,
+// so every per-class free list empties and Get allocates regions exactly as
+// a fresh pool would (keeping the created/reused stats bit-identical to a
+// fresh run); the Stack structs themselves are recycled through the struct
+// free list rather than re-carved.
+func (p *Pool) Reset() {
+	for i := range p.free {
+		l := p.free[i]
+		for j := range l {
+			l[j] = nil
+		}
+		p.free[i] = l[:0]
+	}
+	p.structFree = append(p.structFree[:0], p.all...)
+	p.created, p.reused = 0, 0
+}

@@ -171,3 +171,36 @@ func TestPoolMinimumClass(t *testing.T) {
 		t.Errorf("minimum class = %d, want 256", s.Words())
 	}
 }
+
+func TestPoolReset(t *testing.T) {
+	m := mem.New(16)
+	al := mem.NewAllocator(m)
+	p := NewPool(al)
+	a := p.Get(400)
+	a.Alloc(100)
+	b := p.Get(2000)
+	_ = b
+	p.Put(a)
+
+	p.Reset()
+	al.Reset()
+	if created, reused := p.Stats(); created != 0 || reused != 0 {
+		t.Errorf("stats (%d,%d) after Reset, want (0,0)", created, reused)
+	}
+	// The next Get must behave exactly like a fresh pool: allocate a region
+	// from the (reset) allocator rather than recycle a stale-address stack —
+	// while reusing a recycled Stack struct.
+	s := p.Get(400)
+	if s.Base() != 0 {
+		t.Errorf("first stack after Reset at base %d, want 0", s.Base())
+	}
+	if s != a && s != b {
+		t.Error("Reset pool did not recycle a Stack struct")
+	}
+	if s.InUse() != 0 || s.Peak() != 0 || s.Allocations() != 0 {
+		t.Errorf("recycled struct kept stats: inUse=%d peak=%d allocs=%d", s.InUse(), s.Peak(), s.Allocations())
+	}
+	if created, reused := p.Stats(); created != 1 || reused != 0 {
+		t.Errorf("stats (%d,%d) after first post-Reset Get, want (1,0)", created, reused)
+	}
+}

@@ -16,21 +16,23 @@ import (
 )
 
 // Maker builds a configured engine plus the root task for one algorithm
-// instance. Each call allocates and initializes fresh simulated inputs with
-// data deterministic in the instance parameters (not the scheduling seed),
-// so different seeds race over identical data.
-type Maker func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx))
+// instance. Engines come from the supplied Runner pool — a pooled engine is
+// Reset to cfg, which is bit-for-bit equivalent to fresh construction — and
+// each call initializes fresh simulated inputs with data deterministic in
+// the instance parameters (not the scheduling seed), so different seeds race
+// over identical data.
+type Maker func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx))
 
 // MMMaker multiplies two deterministic n x n matrices under the variant.
 func MMMaker(v matmul.Variant, n, base int) Maker {
 	acfg := matmul.Config{Variant: v, Base: base}
 	a := matrix.Random(n, 1001)
 	b := matrix.Random(n, 2002)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if cfg.RootStackWords < acfg.StackWords(n) {
 			cfg.RootStackWords = acfg.StackWords(n)
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		am := matrix.New(mm.Alloc, n, layout.BitInterleaved)
 		bm := matrix.New(mm.Alloc, n, layout.BitInterleaved)
@@ -46,11 +48,11 @@ func MMMaker(v matmul.Variant, n, base int) Maker {
 
 // PrefixMaker sums n deterministic words.
 func PrefixMaker(n int, pcfg prefix.Config) Maker {
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := prefix.StackWords(pcfg, n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		in := mm.Alloc.Alloc(n)
 		out := mm.Alloc.Alloc(n)
@@ -64,8 +66,8 @@ func PrefixMaker(n int, pcfg prefix.Config) Maker {
 // TransposeMaker transposes a deterministic BI matrix in place.
 func TransposeMaker(n int) Maker {
 	vals := matrix.Random(n, 3003)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
-		e := rws.MustNewEngine(cfg)
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		a := matrix.New(mm.Alloc, n, layout.BitInterleaved)
 		a.Fill(mm.Mem, vals)
@@ -76,8 +78,8 @@ func TransposeMaker(n int) Maker {
 // RMToBIMaker converts a deterministic RM matrix to BI.
 func RMToBIMaker(n int) Maker {
 	vals := matrix.Random(n, 4004)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
-		e := rws.MustNewEngine(cfg)
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		src := matrix.New(mm.Alloc, n, layout.RowMajor)
 		dst := matrix.New(mm.Alloc, n, layout.BitInterleaved)
@@ -90,11 +92,11 @@ func RMToBIMaker(n int) Maker {
 // or, when natural is set, the rejected direct tree.
 func BIToRMMaker(n int, natural bool) Maker {
 	vals := matrix.Random(n, 5005)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := convert.StackWordsBIToRM(n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		src := matrix.New(mm.Alloc, n, layout.BitInterleaved)
 		dst := matrix.New(mm.Alloc, n, layout.RowMajor)
@@ -110,8 +112,8 @@ func BIToRMMaker(n int, natural bool) Maker {
 // row-gather algorithm ([6] via Section 7).
 func BIToRMRowGatherMaker(n int) Maker {
 	vals := matrix.Random(n, 5005)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
-		e := rws.MustNewEngine(cfg)
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		src := matrix.New(mm.Alloc, n, layout.BitInterleaved)
 		dst := matrix.New(mm.Alloc, n, layout.RowMajor)
@@ -122,11 +124,11 @@ func BIToRMRowGatherMaker(n int) Maker {
 
 // SortMaker sorts n deterministic keys.
 func SortMaker(alg sorthbp.Algorithm, n int) Maker {
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := sorthbp.StackWords(alg, n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		arr := mm.Alloc.Alloc(n)
 		for i := 0; i < n; i++ {
@@ -138,11 +140,11 @@ func SortMaker(alg sorthbp.Algorithm, n int) Maker {
 
 // FFTMaker transforms n deterministic complex values.
 func FFTMaker(n int) Maker {
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := fft.StackWords(n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		arr := mm.Alloc.Alloc(2 * n)
 		for i := 0; i < n; i++ {
@@ -156,11 +158,11 @@ func FFTMaker(n int) Maker {
 // ListRankMaker ranks a deterministic random n-node list.
 func ListRankMaker(n int) Maker {
 	next := listrank.RandomList(n, 6006)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := listrank.StackWords(n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		nextA := mm.Alloc.Alloc(n)
 		rankA := mm.Alloc.Alloc(n)
@@ -186,11 +188,11 @@ func ConnCompMaker(n, edges int) Maker {
 		}
 	}
 	g := conncomp.NewGraph(n, el)
-	return func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
+	return func(pool *Runner, cfg rws.Config) (*rws.Engine, func(*rws.Ctx)) {
 		if w := conncomp.StackWords(n) + (1 << 12); cfg.RootStackWords < w {
 			cfg.RootStackWords = w
 		}
-		e := rws.MustNewEngine(cfg)
+		e := pool.Engine(cfg)
 		mm := e.Machine()
 		lay := conncomp.Place(mm.Alloc, mm.Mem, g)
 		return e, conncomp.Build(lay)

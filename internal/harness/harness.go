@@ -180,6 +180,84 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// Runner owns a pool of reusable engines for the experiment sweeps: instead
+// of constructing a fresh rws.Engine (machine, caches, coherence directory,
+// memory pages, strand goroutines) for every one of the thousands of runs an
+// experiment sweep performs, builders draw engines from the pool — a pooled
+// engine is Reset in place to the run's Config, which is bit-for-bit
+// equivalent to fresh construction (the rws reuse differentials pin that)
+// but reuses all the backing structures and parked goroutines.
+//
+// The pool is safe for concurrent use; engines checked out by different
+// sweep workers are independent. The pool only ever holds as many engines as
+// have run concurrently.
+type Runner struct {
+	mu    sync.Mutex
+	free  []*rws.Engine
+	gets  int // checkouts served; reused = gets - built
+	built int
+}
+
+// Engine returns an engine configured for cfg: a pooled engine Reset in
+// place when one is available, a freshly constructed one otherwise. Invalid
+// configs panic, like rws.MustNewEngine.
+func (r *Runner) Engine(cfg rws.Config) *rws.Engine {
+	r.mu.Lock()
+	var e *rws.Engine
+	if n := len(r.free); n > 0 {
+		e = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		r.built++
+	}
+	r.gets++
+	r.mu.Unlock()
+	if e == nil {
+		return rws.MustNewEngine(cfg)
+	}
+	if err := e.Reset(cfg); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Recycle returns an engine to the pool after its Run completed. The
+// engine's Result (and anything read from its Machine) must be fully
+// consumed or copied first: the next checkout Resets the simulated memory.
+func (r *Runner) Recycle(e *rws.Engine) {
+	r.mu.Lock()
+	r.free = append(r.free, e)
+	r.mu.Unlock()
+}
+
+// Stats reports how many engine checkouts the pool served and how many
+// engines were actually constructed; for tests of the pooling lifecycle.
+func (r *Runner) Stats() (gets, built int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gets, r.built
+}
+
+// Close shuts down every pooled engine's strand goroutines and empties the
+// pool. Engines currently checked out are unaffected (their Recycle after
+// Close re-pools them for later reuse).
+func (r *Runner) Close() {
+	r.mu.Lock()
+	free := r.free
+	r.free = nil
+	r.mu.Unlock()
+	for _, e := range free {
+		e.Close()
+	}
+}
+
+// enginePool is the package-level Runner the experiment sweeps draw from. It
+// lives for the process: engines warmed by one experiment serve the next, so
+// a full E01–E21 sweep constructs only about as many engines as the worker
+// count instead of one per run.
+var enginePool Runner
+
 // workers is the sweep fan-out width; see SetWorkers.
 var workers = 1
 
@@ -268,19 +346,29 @@ func fmtI(v int64) string { return fmt.Sprintf("%d", v) }
 
 // seqBaseline runs the same computation at p=1 (no steals possible) to
 // obtain the sequential W and Q the theorems compare against.
-func seqBaseline(mk func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)), base rws.Config) rws.Result {
+func seqBaseline(mk Maker, base rws.Config) rws.Result {
 	cfg := base
 	cfg.Machine.P = 1
-	e, root := mk(cfg)
-	return e.Run(root)
+	return poolRun(mk, cfg)
 }
 
 // runAt executes the computation at the given processor count and budget.
-func runAt(mk func(cfg rws.Config) (*rws.Engine, func(*rws.Ctx)), base rws.Config, p int, budget int64, seed int64) rws.Result {
+func runAt(mk Maker, base rws.Config, p int, budget int64, seed int64) rws.Result {
 	cfg := base
 	cfg.Machine.P = p
 	cfg.StealBudget = budget
 	cfg.Seed = seed
-	e, root := mk(cfg)
-	return e.Run(root)
+	return poolRun(mk, cfg)
+}
+
+// poolRun performs one run on a pooled engine: build (or Reset) through the
+// maker, run lean — the sweeps aggregate totals, so the per-processor
+// counters snapshot is skipped rather than allocated per run — and return
+// the engine for the next run. The Result is fully materialized before the
+// engine goes back, so recycling cannot clobber it.
+func poolRun(mk Maker, cfg rws.Config) rws.Result {
+	e, root := mk(&enginePool, cfg)
+	res := e.RunLean(root)
+	enginePool.Recycle(e)
+	return res
 }

@@ -90,6 +90,38 @@ func TestTableWideRows(t *testing.T) {
 	}
 }
 
+func TestSweepEnginePoolEngages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	// Two serial runs of a sweep-heavy experiment: the pooled runner must
+	// serve almost every engine checkout from the pool (the whole point of
+	// the Reset lifecycle), and its output must not depend on pool state.
+	SetWorkers(1)
+	g0, b0 := enginePool.Stats()
+	ft := E16(Quick)
+	first := ft.Format()
+	g1, b1 := enginePool.Stats()
+	if gets := g1 - g0; gets == 0 {
+		t.Fatal("E16 performed no pooled engine checkouts")
+	}
+	// A warm pool (earlier tests, or the first E16) bounds fresh builds by
+	// the serial concurrency: at most a couple of engines ever coexist.
+	st := E16(Quick)
+	second := st.Format()
+	g2, b2 := enginePool.Stats()
+	if first != second {
+		t.Errorf("E16 output changed between a cold and a warm engine pool:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if builds := b2 - b1; builds != 0 {
+		t.Errorf("second E16 built %d fresh engines with a warm pool, want 0", builds)
+	}
+	if g2 <= g1 {
+		t.Error("second E16 served no checkouts")
+	}
+	_ = b0
+}
+
 func TestParallelSweepMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep comparison skipped in -short mode")

@@ -356,11 +356,12 @@ func E21(s Scale) Table {
 		cfg := rws.DefaultConfig(8)
 		cfg.Seed = seed
 		cfg.Machine.Topology = machine.Topology{Sockets: 4, CostMissRemote: 4 * cfg.Machine.CostMiss}
-		e := rws.MustNewEngine(cfg)
+		e := enginePool.Engine(cfg)
+		defer enginePool.Recycle(e)
 		mm := e.Machine()
 		slotWords := cfg.Machine.B // one block per leaf slot
 		slots := mm.Alloc.Alloc(leaves * slotWords)
-		return e.Run(func(c *rws.Ctx) {
+		return e.RunLean(func(c *rws.Ctx) {
 			// The root warms every slot: its processor's socket becomes each
 			// block's owner, the pattern PlaceLocal exists to undo.
 			c.WriteRange(slots, leaves*slotWords)

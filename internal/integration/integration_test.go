@@ -18,6 +18,10 @@ import (
 	"rwsfs/internal/rws"
 )
 
+// intPool reuses engines across the integration tests' maker-driven runs,
+// exercising the harness pooling path from outside the harness package.
+var intPool harness.Runner
+
 // TestLemma43PerTaskBlockDelayTreeAlgorithm audits every task of a BP (tree)
 // computation: no block of a task's own execution stack may move more than
 // O(min{B, ht(τ)}) times during the task's lifetime (Lemma 4.3).
@@ -123,7 +127,7 @@ func TestMakespanMonotoneInMissCost(t *testing.T) {
 		cfg.Machine.CostMiss = bCost
 		cfg.Machine.CostSteal = 2 * bCost
 		cfg.Machine.CostFailSteal = bCost
-		e, root := mk(cfg)
+		e, root := mk(&intPool, cfg)
 		res := e.Run(root)
 		if i > 0 && res.Makespan < prev {
 			t.Errorf("makespan decreased when miss cost rose to %d: %d < %d", bCost, res.Makespan, prev)
@@ -141,7 +145,7 @@ func TestArbitrationFreeNeverSlower(t *testing.T) {
 			cfg := rws.DefaultConfig(8)
 			cfg.Seed = seed
 			cfg.Machine.Arbitration = arb
-			e, root := mk(cfg)
+			e, root := mk(&intPool, cfg)
 			return e.Run(root).Makespan
 		}
 		fifo := mkRun(machine.ArbitrationFIFO)
@@ -160,7 +164,7 @@ func TestStealTickAccounting(t *testing.T) {
 	mk := harness.PrefixMaker(4096, prefix.Config{Chunk: 4})
 	cfg := rws.DefaultConfig(8)
 	cfg.Seed = 3
-	e, root := mk(cfg)
+	e, root := mk(&intPool, cfg)
 	res := e.Run(root)
 	want := machine.Tick(res.Steals)*cfg.Machine.CostSteal +
 		machine.Tick(res.FailedSteals)*cfg.Machine.CostFailSteal
@@ -190,7 +194,7 @@ func TestDeterminismAcrossAllAlgorithms(t *testing.T) {
 		run := func() rws.Result {
 			cfg := rws.DefaultConfig(4)
 			cfg.Seed = 11
-			e, root := mk(cfg)
+			e, root := mk(&intPool, cfg)
 			return e.Run(root)
 		}
 		a, b := run(), run()
@@ -219,7 +223,7 @@ func TestRootStackPeakWithinDeclaredBounds(t *testing.T) {
 	for _, tc := range cases {
 		cfg := rws.DefaultConfig(8)
 		cfg.Seed = 2
-		e, root := tc.mk(cfg)
+		e, root := tc.mk(&intPool, cfg)
 		res := e.Run(root)
 		if res.RootStackPeak > int64(tc.declared) {
 			t.Errorf("%s: root stack peak %d exceeds declared bound %d",

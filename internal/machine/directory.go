@@ -34,6 +34,11 @@ type dirPage struct {
 	transfers []int64
 	bits      []uint64
 	owner     []int16
+	// gen is the directory generation this page's contents belong to. Reset
+	// invalidates every page by bumping the directory generation; a stale
+	// page is re-zeroed lazily when next touched and reads as absent until
+	// then, so resetting is O(1) instead of O(materialized arena).
+	gen uint32
 }
 
 // dirArenaPages sets how many pages' backing storage one arena chunk holds:
@@ -46,6 +51,7 @@ const dirArenaPages = 4
 type directory struct {
 	w          int // uint64 words per bitset: ceil(P/64)
 	trackOwner bool
+	gen        uint32
 	pages      []*dirPage
 
 	// Arena chunks that page materialization carves slices from.
@@ -58,6 +64,41 @@ type directory struct {
 
 func newDirectory(p int) *directory {
 	return &directory{w: (p + 63) / 64}
+}
+
+// reset prepares the directory for another run on p processors. When the
+// bitset width is unchanged the materialized pages are kept and invalidated
+// by the generation bump (revalidated lazily, see dirPage.gen); a width
+// change makes the flat bits layout incompatible, so the pages are dropped
+// and rebuilt on demand (the leftover arena chunks are stride-free and stay).
+func (d *directory) reset(p int, trackOwner bool) {
+	if w := (p + 63) / 64; w != d.w {
+		d.w = w
+		d.pages = nil
+	}
+	d.trackOwner = trackOwner
+	d.gen++
+}
+
+// revalidate re-zeroes a page left over from before the last reset, making
+// it current. Owner storage is materialized here if owner tracking turned on
+// since the page was built.
+func (d *directory) revalidate(page *dirPage) {
+	clear(page.busyUntil)
+	clear(page.transfers)
+	clear(page.bits)
+	if d.trackOwner {
+		if page.owner == nil {
+			if len(d.ownerArena) < dirPageLen {
+				d.ownerArena = make([]int16, dirArenaPages*dirPageLen)
+			}
+			page.owner, d.ownerArena = d.ownerArena[:dirPageLen:dirPageLen], d.ownerArena[dirPageLen:]
+		}
+		for i := range page.owner {
+			page.owner[i] = -1
+		}
+	}
+	page.gen = d.gen
 }
 
 // newPage carves one zeroed page from the arenas.
@@ -89,6 +130,7 @@ func (d *directory) newPage() *dirPage {
 			page.owner[i] = -1
 		}
 	}
+	page.gen = d.gen
 	return page
 }
 
@@ -111,15 +153,17 @@ func (d *directory) entry(bid mem.BlockID) dirRef {
 	if page == nil {
 		page = d.newPage()
 		d.pages[pg] = page
+	} else if page.gen != d.gen {
+		d.revalidate(page)
 	}
 	return dirRef{pg: page, i: int(uint64(bid) & (dirPageLen - 1)), w: d.w}
 }
 
 // peek resolves bid without materializing; pg is nil if the block was never
-// recorded.
+// recorded since the last reset (stale-generation pages read as absent).
 func (d *directory) peek(bid mem.BlockID) dirRef {
 	pg := uint64(bid) >> dirPageShift
-	if pg >= uint64(len(d.pages)) || d.pages[pg] == nil {
+	if pg >= uint64(len(d.pages)) || d.pages[pg] == nil || d.pages[pg].gen != d.gen {
 		return dirRef{}
 	}
 	return dirRef{pg: d.pages[pg], i: int(uint64(bid) & (dirPageLen - 1)), w: d.w}
@@ -146,10 +190,11 @@ func (d *directory) clearSharerOf(bid mem.BlockID, p int) {
 }
 
 // forEachTransferred calls fn(bid, n) for every block with a nonzero
-// transfer count, in increasing block order.
+// transfer count this run, in increasing block order (stale-generation
+// pages hold a previous run's counts and are skipped).
 func (d *directory) forEachTransferred(fn func(bid mem.BlockID, n int64)) {
 	for pgi, page := range d.pages {
-		if page == nil {
+		if page == nil || page.gen != d.gen {
 			continue
 		}
 		base := mem.BlockID(pgi << dirPageShift)

@@ -145,7 +145,11 @@ type Machine struct {
 	// socketOf maps processor → socket on a non-flat topology; nil when
 	// flat, which doubles as the "is topology pricing active" flag on the
 	// miss path. remoteCost is the effective cross-socket transfer stall.
+	// socketBuf is socketOf's reusable backing across Resets (socketOf must
+	// go nil on flat topologies, but the storage need not be re-allocated
+	// when a later run is socketed again).
 	socketOf   []int16
+	socketBuf  []int16
 	remoteCost Tick
 
 	// stealPriced gates the distance-dependent steal-attempt latency;
@@ -161,6 +165,7 @@ type Machine struct {
 	OnTransfer func(mem.BlockID)
 
 	writeCounts     map[mem.Addr]int64 // only when TrackWrites
+	writeBuf        map[mem.Addr]int64 // writeCounts' reusable backing across Resets
 	retiredWriteMax int64              // max writes over retired (dead) variables
 }
 
@@ -182,7 +187,8 @@ func New(pr Params) (*Machine, error) {
 		m.caches[i] = cache.New(pr.M / pr.B)
 	}
 	if !pr.Topology.Flat() {
-		m.socketOf = make([]int16, pr.P)
+		m.socketBuf = make([]int16, pr.P)
+		m.socketOf = m.socketBuf
 		for p := range m.socketOf {
 			m.socketOf[p] = int16(pr.Topology.SocketOf(p, pr.P))
 		}
@@ -195,7 +201,8 @@ func New(pr Params) (*Machine, error) {
 		m.stealRemote = pr.Topology.stealRemoteCost()
 	}
 	if pr.TrackWrites {
-		m.writeCounts = make(map[mem.Addr]int64)
+		m.writeBuf = make(map[mem.Addr]int64)
+		m.writeCounts = m.writeBuf
 	}
 	return m, nil
 }
@@ -207,6 +214,77 @@ func MustNew(pr Params) *Machine {
 		panic(err)
 	}
 	return m
+}
+
+// Reset reinitializes the machine for another run under pr, reusing every
+// backing structure a fresh machine would have to allocate: memory pages
+// move to a free list and are re-zeroed on next touch, cache recency nodes
+// and the coherence directory are invalidated by generation bumps (stale
+// pages revalidated lazily), and the per-processor counter and cache slices
+// are regrown in place. A reset machine is observationally identical to
+// New(pr) — the engine's reuse differential tests hold it to bit-for-bit
+// equality. On an invalid pr the machine is left untouched.
+func (m *Machine) Reset(pr Params) error {
+	if err := pr.Validate(); err != nil {
+		return err
+	}
+	m.Params = pr
+	m.Mem.Reset(pr.B)
+	m.Alloc.Reset()
+	capBlocks := pr.M / pr.B
+	if pr.P <= cap(m.caches) {
+		m.caches = m.caches[:pr.P]
+	} else {
+		grown := make([]*cache.Cache, pr.P)
+		copy(grown, m.caches[:cap(m.caches)])
+		m.caches = grown
+	}
+	for i, c := range m.caches {
+		if c == nil {
+			m.caches[i] = cache.New(capBlocks)
+		} else {
+			c.Reset(capBlocks)
+		}
+	}
+	m.dir.reset(pr.P, !pr.Topology.Flat())
+	if pr.P <= cap(m.Proc) {
+		m.Proc = m.Proc[:pr.P]
+	} else {
+		m.Proc = make([]ProcCounters, pr.P)
+	}
+	clear(m.Proc)
+	m.socketOf = nil
+	m.remoteCost = 0
+	if !pr.Topology.Flat() {
+		if pr.P <= cap(m.socketBuf) {
+			m.socketOf = m.socketBuf[:pr.P]
+		} else {
+			m.socketBuf = make([]int16, pr.P)
+			m.socketOf = m.socketBuf
+		}
+		for p := range m.socketOf {
+			m.socketOf[p] = int16(pr.Topology.SocketOf(p, pr.P))
+		}
+		m.remoteCost = pr.Topology.remoteCost(pr.CostMiss)
+	}
+	m.stealPriced, m.stealLocal, m.stealRemote = false, 0, 0
+	if pr.Topology.StealPriced() {
+		m.stealPriced = true
+		m.stealLocal = pr.Topology.CostSteal
+		m.stealRemote = pr.Topology.stealRemoteCost()
+	}
+	m.OnTransfer = nil
+	m.writeCounts = nil
+	if pr.TrackWrites {
+		if m.writeBuf == nil {
+			m.writeBuf = make(map[mem.Addr]int64)
+		} else {
+			clear(m.writeBuf)
+		}
+		m.writeCounts = m.writeBuf
+	}
+	m.retiredWriteMax = 0
+	return nil
 }
 
 // Access performs one timed word access by processor p at time now and

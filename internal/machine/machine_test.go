@@ -209,3 +209,69 @@ func TestMissClassificationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMachineResetMatchesFresh drives identical access traces through a
+// freshly constructed machine and one Reset from a deliberately different
+// previous configuration (P, B, topology, steal pricing and write tracking
+// all change), and requires every observable — stall delays, counters,
+// transfers, owners, write maxima — to agree.
+func TestMachineResetMatchesFresh(t *testing.T) {
+	paramSets := []Params{
+		DefaultParams(4),
+		func() Params {
+			p := DefaultParams(8)
+			p.B = 8
+			p.M = 512
+			p.Topology = Topology{Sockets: 2, CostMissRemote: 30, CostSteal: 3, CostStealRemote: 9}
+			p.TrackWrites = true
+			return p
+		}(),
+		DefaultParams(2),
+		func() Params {
+			p := DefaultParams(6)
+			p.Topology = Topology{Sockets: 3, CostMissRemote: 20}
+			return p
+		}(),
+	}
+	trace := func(m *Machine) (Tick, int64, int64) {
+		base := m.Alloc.Alloc(4 * m.B)
+		var total Tick
+		now := Tick(0)
+		for i := 0; i < 64; i++ {
+			p := i % m.P
+			a := base + mem.Addr((i*7)%(4*m.B))
+			d := m.Access(p, a, i%3 == 0, now)
+			total += d
+			now += d + 1
+		}
+		tot, mx := m.BlockTransfers()
+		_ = mx
+		return total, tot, m.MaxWriteCount()
+	}
+	reset := MustNew(paramSets[0])
+	for _, pr := range paramSets {
+		fresh := MustNew(pr)
+		fDelay, fXfer, fWrites := trace(fresh)
+		if err := reset.Reset(pr); err != nil {
+			t.Fatalf("Reset(%+v): %v", pr, err)
+		}
+		rDelay, rXfer, rWrites := trace(reset)
+		if fDelay != rDelay || fXfer != rXfer || fWrites != rWrites {
+			t.Errorf("reset machine diverged from fresh for %+v: delay %d/%d, transfers %d/%d, writes %d/%d",
+				pr, fDelay, rDelay, fXfer, rXfer, fWrites, rWrites)
+		}
+		for p := 0; p < pr.P; p++ {
+			if fresh.Proc[p] != reset.Proc[p] {
+				t.Errorf("proc %d counters diverged: fresh %+v reset %+v", p, fresh.Proc[p], reset.Proc[p])
+			}
+		}
+	}
+	// Invalid params leave the machine untouched and usable.
+	bad := DefaultParams(0)
+	if err := reset.Reset(bad); err == nil {
+		t.Error("Reset accepted P=0")
+	}
+	if err := reset.Reset(DefaultParams(2)); err != nil {
+		t.Errorf("Reset after failed Reset: %v", err)
+	}
+}

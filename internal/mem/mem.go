@@ -28,12 +28,28 @@ const pageShift = 11
 
 const pageWords = 1 << pageShift
 
+// dirShift sets the page-table fan-out: each directory node maps 2^dirShift
+// consecutive pages (8 KiB of pointers). Two levels replace the old
+// map[int64][]uint64: Allocator hands out addresses densely from zero, so a
+// radix walk is two loads with no hashing — the page map was one of the few
+// remaining hash lookups on the simulator's value hot path.
+const dirShift = 10
+
+const dirLen = 1 << dirShift
+
 // Memory is a lazily-paged simulated shared memory.
 //
 // The zero value is not usable; call New.
 type Memory struct {
 	blockWords int
-	pages      map[int64][]uint64
+	// dir is the two-level page table: dir[page>>dirShift][page&(dirLen-1)]
+	// is the page's word slice, nil until touched.
+	dir     [][][]uint64
+	touched int
+	// freePages holds page slices recycled by Reset; they are re-zeroed when
+	// handed out again, so reuse is indistinguishable from a fresh page while
+	// the garbage collector never sees the buffers die.
+	freePages [][]uint64
 	// One-entry lookaside for the most recently touched page; raw value
 	// accesses during base-case kernels are strongly local.
 	lastPage  int64
@@ -48,9 +64,32 @@ func New(blockWords int) *Memory {
 	}
 	return &Memory{
 		blockWords: blockWords,
-		pages:      make(map[int64][]uint64),
 		lastPage:   -1,
 	}
+}
+
+// Reset empties the memory for another run: every materialized page moves to
+// the free list (to be re-zeroed on its next use) and the block size is
+// re-set. Directory nodes are kept, so a reused memory re-materializes its
+// working set without allocating.
+func (m *Memory) Reset(blockWords int) {
+	if blockWords <= 0 || blockWords&(blockWords-1) != 0 {
+		panic(fmt.Sprintf("mem: block size %d is not a positive power of two", blockWords))
+	}
+	m.blockWords = blockWords
+	for _, node := range m.dir {
+		if node == nil {
+			continue
+		}
+		for i, s := range node {
+			if s != nil {
+				m.freePages = append(m.freePages, s)
+				node[i] = nil
+			}
+		}
+	}
+	m.touched = 0
+	m.lastPage, m.lastSlice = -1, nil
 }
 
 // BlockWords reports the number of words per block (the paper's B).
@@ -83,14 +122,40 @@ func (m *Memory) word(a Addr) *uint64 {
 	}
 	page := int64(a) >> pageShift
 	if page != m.lastPage {
-		s, ok := m.pages[page]
-		if !ok {
-			s = make([]uint64, pageWords)
-			m.pages[page] = s
-		}
-		m.lastPage, m.lastSlice = page, s
+		m.lastPage, m.lastSlice = page, m.pageFor(page)
 	}
 	return &m.lastSlice[int(a)&(pageWords-1)]
+}
+
+// pageFor resolves a page number, materializing directory nodes and the page
+// itself as needed. Recycled pages are zeroed here, so a page handed out
+// after Reset reads exactly like a fresh one.
+func (m *Memory) pageFor(page int64) []uint64 {
+	d := uint64(page) >> dirShift
+	if d >= uint64(len(m.dir)) {
+		grown := make([][][]uint64, d+1)
+		copy(grown, m.dir)
+		m.dir = grown
+	}
+	node := m.dir[d]
+	if node == nil {
+		node = make([][]uint64, dirLen)
+		m.dir[d] = node
+	}
+	s := node[page&(dirLen-1)]
+	if s == nil {
+		if n := len(m.freePages); n > 0 {
+			s = m.freePages[n-1]
+			m.freePages[n-1] = nil
+			m.freePages = m.freePages[:n-1]
+			clear(s)
+		} else {
+			s = make([]uint64, pageWords)
+		}
+		node[page&(dirLen-1)] = s
+		m.touched++
+	}
+	return s
 }
 
 // LoadBits returns the raw 64-bit pattern at a.
@@ -111,9 +176,14 @@ func (m *Memory) LoadFloat(a Addr) float64 { return math.Float64frombits(*m.word
 // StoreFloat writes a float64 at a.
 func (m *Memory) StoreFloat(a Addr, v float64) { *m.word(a) = math.Float64bits(v) }
 
-// TouchedPages reports how many pages have been materialized; useful for
-// asserting that lazy paging keeps host memory proportional to data touched.
-func (m *Memory) TouchedPages() int { return len(m.pages) }
+// TouchedPages reports how many pages have been materialized since New or
+// the last Reset; useful for asserting that lazy paging keeps host memory
+// proportional to data touched.
+func (m *Memory) TouchedPages() int { return m.touched }
+
+// FreePages reports how many recycled page slices are waiting on the free
+// list; for tests of the Reset lifecycle.
+func (m *Memory) FreePages() int { return len(m.freePages) }
 
 // Allocator hands out disjoint, block-aligned regions of simulated memory.
 //
@@ -168,3 +238,8 @@ func (al *Allocator) Release(mark Addr) {
 
 // Reserved reports the total words of address space handed out.
 func (al *Allocator) Reserved() int64 { return int64(al.next) }
+
+// Reset rolls the allocator back to address 0 for a fresh run. Only valid
+// when every previous allocation is dead — the engine Reset lifecycle
+// guarantees that, since the memory underneath is reset with it.
+func (al *Allocator) Reset() { al.next = 0 }

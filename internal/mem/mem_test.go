@@ -193,3 +193,46 @@ func TestAllocatorMarkRelease(t *testing.T) {
 	}()
 	al.Release(mark + 1024)
 }
+
+func TestMemoryReset(t *testing.T) {
+	m := New(16)
+	m.StoreInt(5, 42)
+	m.StoreInt(3000, 7) // second page
+	if m.TouchedPages() != 2 {
+		t.Fatalf("TouchedPages = %d, want 2", m.TouchedPages())
+	}
+	m.Reset(8)
+	if m.BlockWords() != 8 {
+		t.Errorf("Reset did not adopt the new block size")
+	}
+	if m.TouchedPages() != 0 || m.FreePages() != 2 {
+		t.Errorf("after Reset: touched %d free %d, want 0 and 2", m.TouchedPages(), m.FreePages())
+	}
+	// Recycled pages must read as zero, exactly like fresh ones.
+	if m.LoadInt(5) != 0 || m.LoadInt(3000) != 0 {
+		t.Error("recycled page leaked values from before Reset")
+	}
+	// The two touches above re-materialized both pages from the free list
+	// with no new page allocations.
+	if m.TouchedPages() != 2 || m.FreePages() != 0 {
+		t.Errorf("reuse: touched %d free %d, want 2 and 0", m.TouchedPages(), m.FreePages())
+	}
+	m.StoreInt(5, 9)
+	if m.LoadInt(5) != 9 {
+		t.Error("store after Reset lost")
+	}
+}
+
+func TestAllocatorReset(t *testing.T) {
+	m := New(16)
+	al := NewAllocator(m)
+	first := al.Alloc(64)
+	al.Alloc(128)
+	al.Reset()
+	if al.Reserved() != 0 {
+		t.Errorf("Reserved = %d after Reset, want 0", al.Reserved())
+	}
+	if again := al.Alloc(64); again != first {
+		t.Errorf("first allocation after Reset at %d, want %d", again, first)
+	}
+}

@@ -76,6 +76,66 @@ func BenchmarkStealHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkForkJoinReuse is BenchmarkForkJoinThroughput through one engine
+// Reset between iterations: the same simulated runs, but with slabs, free
+// lists, memory pages, cache/directory pages and parked strand goroutines
+// carried across runs. Tracked in BENCH_rws.json with an allocs/op ceiling
+// (scripts/bench.sh): the steady state must stay at or under 10 allocs/op.
+func BenchmarkForkJoinReuse(b *testing.B) {
+	cfg := DefaultConfig(4)
+	e := MustNewEngine(cfg)
+	defer e.Close()
+	iter := func() {
+		if err := e.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		out := e.Machine().Alloc.Alloc(1024)
+		e.Run(func(c *Ctx) {
+			c.ForkN(1024, func(j int, c *Ctx) {
+				c.Node()
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+	}
+	iter() // warm the pools so b.N=1 runs still measure steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter()
+	}
+}
+
+// BenchmarkStealHeavyReuse is BenchmarkStealHeavy through one engine Reset
+// between iterations (seeds still vary per iteration, as in the fresh-engine
+// benchmark). The delta against BenchmarkStealHeavy is the whole per-run
+// construction bill: machine, caches, directory, memory pages, stacks and
+// strand goroutines.
+func BenchmarkStealHeavyReuse(b *testing.B) {
+	cfg := DefaultConfig(8)
+	e := MustNewEngine(cfg)
+	defer e.Close()
+	iter := func(seed int64) float64 {
+		cfg.Seed = seed
+		if err := e.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		out := e.Machine().Alloc.Alloc(512)
+		res := e.Run(func(c *Ctx) {
+			c.ForkN(512, func(j int, c *Ctx) {
+				c.Work(5)
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+		return float64(res.Steals)
+	}
+	iter(999) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(iter(int64(i+1)), "steals/op")
+	}
+}
+
 // BenchmarkStealPriced is BenchmarkStealHeavy on a four-socket machine with
 // distance-priced steal attempts and the hierarchical probe ladder: every
 // attempt takes the StealPrice/consecFail path and every transfer the

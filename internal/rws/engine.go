@@ -83,10 +83,16 @@ type Result struct {
 	// experiments.
 	StolenKernelSizes []int64
 
-	RootStackPeak   int64 // peak words on the root task's stack (space checks)
-	StacksCreated   int   // fresh stack regions allocated
-	StacksReused    int   // regions recycled from the pool
-	StrandsLaunched int   // goroutines created (pooling keeps this near peak concurrency)
+	RootStackPeak int64 // peak words on the root task's stack (space checks)
+	StacksCreated int   // fresh stack regions allocated
+	StacksReused  int   // regions recycled from the pool
+	// StrandsLaunched is the peak number of strands simultaneously checked
+	// out of the strand pool. On a single-use engine that is exactly the
+	// goroutines created (a launch happens precisely when the free list is
+	// empty); a Reset engine re-parks its goroutines across runs, so the
+	// peak is reported instead of the cross-run launch total to keep reused
+	// Results bit-identical to fresh ones.
+	StrandsLaunched int
 
 	// StackAudits holds the per-task Lemma 4.3/4.4 block-delay audit when
 	// Config.AuditStackBlocks was set.
@@ -94,7 +100,13 @@ type Result struct {
 }
 
 // Engine runs fork-join computations under simulated RWS. Create with
-// NewEngine, populate simulated memory through Machine(), then call Run once.
+// NewEngine, populate simulated memory through Machine(), then call Run
+// once. To run again — under the same or a completely different Config —
+// Reset the engine between runs: a reset engine reuses its slabs, free
+// lists, memory pages, and parked strand goroutines, producing Results
+// bit-for-bit identical to a fresh engine's while allocating near-zero in
+// steady state (see Reset and harness.Runner, which pools reset engines
+// across experiment sweeps).
 //
 // At runtime exactly one goroutine at a time — the baton holder — touches
 // Engine state: either the goroutine that called Run (start, drain, collect)
@@ -156,6 +168,19 @@ type Engine struct {
 	strandSlab []strand
 	allStrands []*strand // every launched strand, for shutdown
 
+	// strandsOut / strandPeak track how many strands are checked out of the
+	// pool right now and at most; on a single-use engine the peak equals
+	// len(allStrands) exactly (see Result.StrandsLaunched).
+	strandsOut int
+	strandPeak int
+	// persistent keeps the strand goroutines parked after Run instead of
+	// shutting them down, so the next Reset+Run reuses them. Set by Reset;
+	// a persistent engine must be released with Close.
+	persistent bool
+	// strandsShut records that shutdown ended the pooled goroutines; Reset
+	// then discards the dead strand pool so the next run relaunches.
+	strandsShut bool
+
 	steals      int64
 	failed      int64
 	spawns      int64
@@ -203,11 +228,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		// One entry per stolen task; tightly budgeted runs never regrow the
 		// slice. Capped so an effectively-unlimited budget does not reserve
 		// gigabytes upfront.
-		presize := cfg.StealBudget
-		if presize > 1<<16 {
-			presize = 1 << 16
-		}
-		e.stolenSizes = make([]int64, 0, presize)
+		e.stolenSizes = make([]int64, 0, min(cfg.StealBudget, 1<<16))
 	}
 	// Pre-size the metadata free lists past typical peak live counts so
 	// recycling never regrows them mid-run.
@@ -232,15 +253,146 @@ func MustNewEngine(cfg Config) *Engine {
 	return e
 }
 
+// Reset reinitializes the engine for another Run under cfg — which may
+// differ arbitrarily from the previous configuration (processor count,
+// policy, topology, pricing, budget) — while keeping every reusable backing
+// structure alive: metadata slabs and free lists, deque ring buffers, the
+// clock heap, simulated memory pages (recycled through the mem free list),
+// cache and directory pages (invalidated by generation stamps, revalidated
+// lazily), exec stack structs, and the parked strand goroutines. A reset
+// engine produces Results bit-for-bit identical to a fresh NewEngine(cfg) —
+// the reuse differential tests and FuzzEngineReuse hold it to that.
+//
+// Reset marks the engine persistent: subsequent Runs leave the strand
+// goroutines parked on their job channels instead of shutting them down, so
+// back-to-back runs launch no goroutines in steady state. A persistent
+// engine must be released with Close once it is no longer needed.
+//
+// Reset is only valid before the first Run or after a Run that returned
+// normally; an engine whose Run panicked must be discarded. On an invalid
+// cfg the engine is left untouched and stays usable.
+func (e *Engine) Reset(cfg Config) error {
+	if cfg.RootStackWords <= 0 {
+		cfg.RootStackWords = 1 << 16
+	}
+	if cfg.DefaultStackWords <= 0 {
+		cfg.DefaultStackWords = 4096
+	}
+	if err := e.mach.Reset(cfg.Machine); err != nil {
+		return err
+	}
+	e.cfg = cfg
+	e.pool.Reset()
+	e.rng.Seed(cfg.Seed)
+	p := cfg.Machine.P
+	e.sched.reset(p)
+	e.clock = e.sched.clock
+	if p <= cap(e.running) {
+		e.running = e.running[:p]
+	} else {
+		e.running = make([]*strand, p)
+	}
+	clear(e.running)
+	if p <= cap(e.deques) {
+		e.deques = e.deques[:p]
+	} else {
+		grown := make([]deque, p)
+		copy(grown, e.deques[:cap(e.deques)])
+		e.deques = grown
+	}
+	for i := range e.deques {
+		// Ring buffers are kept; a completed run consumed every spawn, so
+		// resetting the cursors is all an empty deque needs.
+		e.deques[i].head, e.deques[i].tail = 0, 0
+	}
+	if p <= cap(e.consecFail) {
+		e.consecFail = e.consecFail[:p]
+	} else {
+		e.consecFail = make([]int32, p)
+	}
+	clear(e.consecFail)
+	e.policy = cfg.Policy
+	if e.policy == nil {
+		e.policy = Uniform{}
+	}
+	e.fastPath = !cfg.DisableFastPath
+	e.stealPriced = e.mach.StealPriced()
+	e.heapDirty = false
+	e.stealBudget = cfg.StealBudget
+	e.done = false
+	e.finishTime = 0
+	e.taskSeq, e.strandSeq = 0, 0
+	if e.root != nil {
+		e.putTask(e.root)
+		e.root = nil
+	}
+	e.audit = nil
+	if cfg.AuditStackBlocks {
+		e.audit = newAuditor()
+		e.mach.OnTransfer = e.audit.observe
+	}
+	e.steals, e.failed, e.spawns = 0, 0, 0
+	e.inlinePops, e.idlePops, e.usurpations, e.migrated = 0, 0, 0, 0
+	// The previous Result owns the old StolenKernelSizes backing, so a fresh
+	// slice is the one steady-state allocation a reused run keeps. Its
+	// capacity carries over from the last run (collect normalizes empty
+	// slices to nil, so capacity never shows through).
+	presize := cap(e.stolenSizes)
+	if cfg.StealBudget >= 0 && int64(presize) < cfg.StealBudget {
+		presize = int(min(cfg.StealBudget, 1<<16))
+	}
+	if presize > 0 {
+		e.stolenSizes = make([]int64, 0, presize)
+	} else {
+		e.stolenSizes = nil
+	}
+	e.strandsOut, e.strandPeak = 0, 0
+	if e.strandsShut {
+		// A previous non-persistent Run ended the pooled goroutines; drop
+		// the dead strands so newStrand relaunches fresh ones.
+		e.allStrands = e.allStrands[:0]
+		e.strandFree = e.strandFree[:0]
+		e.strandSlab = nil
+		e.strandsShut = false
+	}
+	e.persistent = true
+	return nil
+}
+
+// Close shuts down a persistent engine's parked strand goroutines. The
+// engine is unusable afterwards until Reset revives it. Close is a no-op on
+// an engine whose goroutines already exited (a single-use Run, or a second
+// Close).
+func (e *Engine) Close() {
+	if !e.strandsShut {
+		e.shutdown()
+	}
+	e.persistent = false
+}
+
 // Machine exposes the simulated machine, e.g. to allocate and initialize
 // input arrays before Run and to read outputs after it.
 func (e *Engine) Machine() *machine.Machine { return e.mach }
 
 // Run executes root as the original task under RWS and returns the metrics.
-// An Engine is single-use: Run may be called once.
+// An Engine runs once per configuration: a second Run requires a Reset in
+// between (which may re-apply the same Config).
 func (e *Engine) Run(rootFn func(*Ctx)) Result {
+	return e.run(rootFn, true)
+}
+
+// RunLean is Run for sweep drivers that retain many Results: it skips the
+// per-processor counters snapshot (Result.PerProc is nil), so collecting a
+// reused engine's Result does not allocate a fresh slice per run. Callers
+// that want the engine's last per-processor counters use CopyCounters with
+// a buffer they own.
+func (e *Engine) RunLean(rootFn func(*Ctx)) Result {
+	return e.run(rootFn, false)
+}
+
+func (e *Engine) run(rootFn func(*Ctx), perProc bool) Result {
 	if e.root != nil {
-		panic("rws: Engine.Run called twice")
+		panic("rws: Engine.Run called twice (Reset the engine between runs)")
 	}
 	e.root = e.newTask(e.cfg.RootStackWords, false)
 	st := e.newStrand(e.root, strandJob{fn: rootFn})
@@ -252,9 +404,11 @@ func (e *Engine) Run(rootFn func(*Ctx)) Result {
 	st.sendWake(0)
 	e.recvBaton()
 	e.drain()
-	e.shutdown()
+	if !e.persistent {
+		e.shutdown()
+	}
 
-	return e.collect()
+	return e.collect(perProc)
 }
 
 // recvBaton blocks until a strand hands the baton back to the engine
@@ -294,11 +448,13 @@ func (e *Engine) drain() {
 
 // shutdown ends every pooled strand goroutine. By the end of drain each one
 // is parked on (or heading for) its job channel, so closing it exits the
-// loop.
+// loop. Persistent engines skip this after Run and keep the goroutines
+// parked for the next Reset+Run; Close calls it when the engine retires.
 func (e *Engine) shutdown() {
 	for _, st := range e.allStrands {
 		st.shut()
 	}
+	e.strandsShut = true
 }
 
 // idleStep advances idle processor p by one action: popping its own deque
@@ -488,6 +644,10 @@ func (e *Engine) newStrand(t *Task, job strandJob) *strand {
 	st.task = t
 	t.liveStrands++
 	job.task = t
+	e.strandsOut++
+	if e.strandsOut > e.strandPeak {
+		e.strandPeak = e.strandsOut
+	}
 	st.sendJob(job)
 	return st
 }
@@ -496,6 +656,7 @@ func (e *Engine) newStrand(t *Task, job strandJob) *strand {
 // back to the job channel.
 func (e *Engine) putStrand(st *strand) {
 	st.task = nil
+	e.strandsOut--
 	e.strandFree = append(e.strandFree, st)
 }
 
@@ -620,7 +781,15 @@ func (e *Engine) popTop(p int) *spawn {
 	return e.deques[p].popTop()
 }
 
-func (e *Engine) collect() Result {
+// CopyCounters appends a snapshot of the per-processor counters to buf
+// (which may be nil) and returns the extended slice: the caller-supplied-
+// buffer variant of the Result.PerProc export, for loops that sample
+// counters without a fresh allocation per run.
+func (e *Engine) CopyCounters(buf []machine.ProcCounters) []machine.ProcCounters {
+	return append(buf, e.mach.Proc...)
+}
+
+func (e *Engine) collect(perProc bool) Result {
 	var audits []StackAudit
 	if e.audit != nil {
 		e.audit.finishAll()
@@ -628,11 +797,22 @@ func (e *Engine) collect() Result {
 	}
 	total, maxPer := e.mach.BlockTransfers()
 	created, reused := e.pool.Stats()
+	sizes := e.stolenSizes
+	if len(sizes) == 0 {
+		// A budgeted engine pre-sizes the slice; normalizing the no-steal
+		// case to nil keeps Results bit-comparable regardless of how the
+		// backing was provisioned (fresh construction or Reset carry-over).
+		sizes = nil
+	}
+	var per []machine.ProcCounters
+	if perProc {
+		per = e.CopyCounters(nil)
+	}
 	res := Result{
 		Params:              e.mach.Params,
 		Makespan:            e.finishTime,
 		Totals:              e.mach.Totals(),
-		PerProc:             append([]machine.ProcCounters(nil), e.mach.Proc...),
+		PerProc:             per,
 		Steals:              e.steals,
 		FailedSteals:        e.failed,
 		Spawns:              e.spawns,
@@ -644,11 +824,11 @@ func (e *Engine) collect() Result {
 		BlockTransfersTotal: total,
 		BlockTransfersMax:   maxPer,
 		MaxWriteCount:       e.mach.MaxWriteCount(),
-		StolenKernelSizes:   e.stolenSizes,
+		StolenKernelSizes:   sizes,
 		RootStackPeak:       int64(e.root.stack.Peak()),
 		StacksCreated:       created,
 		StacksReused:        reused,
-		StrandsLaunched:     len(e.allStrands),
+		StrandsLaunched:     e.strandPeak,
 		StackAudits:         audits,
 	}
 	return res

@@ -377,6 +377,46 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenDeterminismReused replays every pinned golden case through ONE
+// engine, Reset between cases, and requires each Result to be bit-for-bit
+// equal to a fresh engine's. The golden sequence is deliberately
+// heterogeneous — different processor counts, policies, topologies and steal
+// pricing back to back — so any state leaking across Reset (stale coherence
+// pages, RNG position, counters, allocator high-water) shows up against the
+// same reference values the fresh-engine golden test pins.
+func TestGoldenDeterminismReused(t *testing.T) {
+	cases := append(goldenCases(), policyGoldenCases()...)
+	var reused *Engine
+	defer func() {
+		if reused != nil {
+			reused.Close()
+		}
+	}()
+	for _, g := range cases {
+		cfg := g.cfg()
+		fresh := MustNewEngine(cfg)
+		fBase := fresh.Machine().Alloc.Alloc(g.words)
+		fRes := fresh.Run(func(c *Ctx) { g.workload(c, fBase) })
+
+		if reused == nil {
+			reused = MustNewEngine(cfg)
+		}
+		if err := reused.Reset(cfg); err != nil {
+			t.Fatalf("%s: Reset: %v", g.name, err)
+		}
+		rBase := reused.Machine().Alloc.Alloc(g.words)
+		rRes := reused.Run(func(c *Ctx) { g.workload(c, rBase) })
+
+		if !reflect.DeepEqual(fRes, rRes) {
+			t.Errorf("%s: reused engine diverged from fresh:\nfresh:  %+v\nreused: %+v", g.name, fRes, rRes)
+		}
+		if rRes.Makespan != g.makespan || rRes.Totals != g.totals {
+			t.Errorf("%s: reused engine diverged from pinned golden: makespan %d (want %d), totals %+v (want %+v)",
+				g.name, rRes.Makespan, g.makespan, rRes.Totals, g.totals)
+		}
+	}
+}
+
 // TestUniformExplicitMatchesDefault is the cross-policy differential: an
 // engine with Policy: Uniform{} set explicitly must reproduce the
 // nil-policy runs — and therefore the pre-refactor goldens — bit-for-bit.

@@ -226,6 +226,122 @@ func TestPolicyInvariants(t *testing.T) {
 	}
 }
 
+// reuseWorkload returns a deterministic lopsided-fork-tree root function for
+// an invariantConfig: the same (leaves, shape) always yields the same
+// computation, so fresh and reused engines race over identical work.
+func reuseWorkload(ic invariantConfig, out mem.Addr) func(*Ctx) {
+	shapeRng := rand.New(rand.NewSource(ic.shape))
+	var rec func(lo, hi int, c *Ctx)
+	rec = func(lo, hi int, c *Ctx) {
+		if hi-lo <= 1 {
+			c.Work(machine.Tick(1 + (lo*13)%29))
+			c.StoreInt(out+mem.Addr(lo), int64(lo))
+			return
+		}
+		span := hi - lo
+		cut := lo + 1 + shapeRng.Intn(span-1)
+		c.Fork(
+			func(c *Ctx) { rec(lo, cut, c) },
+			func(c *Ctx) { rec(cut, hi, c) })
+	}
+	return func(c *Ctx) { rec(0, ic.leaves, c) }
+}
+
+// TestEngineReuseMatchesFresh is the reuse differential: one engine is Reset
+// through sequences of heterogeneous configurations — processor counts,
+// block sizes, policies, topologies, steal pricing, budgets and fast-path
+// modes all varying between consecutive runs — and every run's Result must
+// be bit-for-bit equal to a fresh engine's under the identical Config,
+// including the simulated output values. This is the invariant that lets
+// harness.Runner pool engines across arbitrary experiment sweeps.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	rounds, runsPerRound := 6, 5
+	if testing.Short() {
+		rounds = 2
+	}
+	pols := Policies()
+	for round := 0; round < rounds; round++ {
+		var reused *Engine
+		for ri := 0; ri < runsPerRound; ri++ {
+			ic := randomInvariantConfig(rng)
+			cfg := ic.cfg
+			cfg.Policy = pols[rng.Intn(len(pols))]
+			cfg.DisableFastPath = rng.Intn(4) == 0
+			cfg.Machine.TrackWrites = rng.Intn(8) == 0
+			cfg.AuditStackBlocks = rng.Intn(8) == 0
+
+			fresh := MustNewEngine(cfg)
+			fOut := fresh.Machine().Alloc.Alloc(ic.leaves)
+			fRes := fresh.Run(reuseWorkload(ic, fOut))
+
+			if reused == nil {
+				reused = MustNewEngine(cfg)
+			}
+			if err := reused.Reset(cfg); err != nil {
+				t.Fatalf("round %d run %d: Reset: %v", round, ri, err)
+			}
+			rOut := reused.Machine().Alloc.Alloc(ic.leaves)
+			rRes := reused.Run(reuseWorkload(ic, rOut))
+
+			if fOut != rOut {
+				t.Fatalf("round %d run %d: allocator diverged: fresh base %d, reused base %d",
+					round, ri, fOut, rOut)
+			}
+			if !reflect.DeepEqual(fRes, rRes) {
+				t.Fatalf("round %d run %d (%s, fastpath=%v): reused engine diverged from fresh:\nfresh:  %+v\nreused: %+v\nconfig: %+v",
+					round, ri, cfg.Policy.Name(), !cfg.DisableFastPath, fRes, rRes, cfg)
+			}
+			for i := 0; i < ic.leaves; i++ {
+				f := fresh.Machine().Mem.LoadInt(fOut + mem.Addr(i))
+				r := reused.Machine().Mem.LoadInt(rOut + mem.Addr(i))
+				if f != r || r != int64(i) {
+					t.Fatalf("round %d run %d: output[%d]: fresh %d, reused %d, want %d",
+						round, ri, i, f, r, i)
+				}
+			}
+			// The caller-supplied-buffer counters export must match the
+			// Result's snapshot without allocating a fresh slice per call.
+			buf := make([]machine.ProcCounters, 0, cfg.Machine.P)
+			if got := reused.CopyCounters(buf); !reflect.DeepEqual(got, fRes.PerProc) {
+				t.Fatalf("round %d run %d: CopyCounters diverged from Result.PerProc", round, ri)
+			}
+		}
+		reused.Close()
+	}
+}
+
+// TestEngineReuseSteadyStateAllocs pins the tentpole property: after warmup,
+// a Reset+Run cycle of a steal-heavy workload performs (almost) no heap
+// allocation. The ceiling of 10 allocs per cycle matches the CI benchmark
+// gate; the real steady state is ~2 (the Result's PerProc snapshot under
+// Run, plus the StolenKernelSizes handoff).
+func TestEngineReuseSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig(8)
+	e := MustNewEngine(cfg)
+	defer e.Close()
+	cycle := func(seed int64) {
+		cfg.Seed = seed
+		if err := e.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		out := e.Machine().Alloc.Alloc(512)
+		e.Run(func(c *Ctx) {
+			c.ForkN(512, func(j int, c *Ctx) {
+				c.Work(5)
+				c.StoreInt(out+mem.Addr(j), int64(j))
+			})
+		})
+	}
+	for s := int64(1); s <= 4; s++ {
+		cycle(s)
+	}
+	avg := testing.AllocsPerRun(10, func() { cycle(5) })
+	if avg > 10 {
+		t.Errorf("steady-state Reset+Run allocates %.1f times per cycle, want <= 10", avg)
+	}
+}
+
 // TestPolicyDisciplinesDiffer is the sanity complement of the invariant
 // suite: the policies are not all secretly Uniform. On a multi-socket
 // steal-heavy workload, each policy's schedule (and so its Result) should

@@ -16,18 +16,30 @@ type clockHeap struct {
 }
 
 func newClockHeap(p int) *clockHeap {
-	h := &clockHeap{
-		clock: make([]machine.Tick, p),
-		heap:  make([]int32, p),
-		pos:   make([]int32, p),
+	h := &clockHeap{}
+	h.reset(p)
+	return h
+}
+
+// reset restores the heap to the all-clocks-zero start state for p
+// processors, reusing the backing arrays when they are large enough.
+func (h *clockHeap) reset(p int) {
+	if p <= cap(h.clock) {
+		h.clock = h.clock[:p]
+		h.heap = h.heap[:p]
+		h.pos = h.pos[:p]
+	} else {
+		h.clock = make([]machine.Tick, p)
+		h.heap = make([]int32, p)
+		h.pos = make([]int32, p)
 	}
 	// All clocks start equal, so the identity arrangement is a valid heap
 	// with the (clock, proc) order.
 	for i := range h.heap {
+		h.clock[i] = 0
 		h.heap[i] = int32(i)
 		h.pos[i] = int32(i)
 	}
-	return h
 }
 
 func (h *clockHeap) less(a, b int32) bool {

@@ -83,6 +83,19 @@
 // ForkN trees fork explicit leaf ranges rather than per-node closures, so a
 // range spawn carries (lo, hi, body) and its stolen execution re-enters the
 // same range walker — no allocation per internal tree node.
+//
+// # Reset lifecycle
+//
+// Engine.Reset extends the pooling across runs: after a completed Run, Reset
+// reinitializes every piece of per-run state (machine, clocks, deque
+// cursors, counters, RNG, free lists' contents) while keeping the backing
+// structures — slabs, ring buffers, memory pages, cache/directory pages
+// (generation-stamped, revalidated lazily), and the parked strand
+// goroutines — so back-to-back runs allocate almost nothing and launch no
+// goroutines in steady state. Reused runs are bit-for-bit identical to
+// fresh-engine runs under arbitrary config changes between runs; the golden
+// replay, the randomized reuse differential and FuzzEngineReuse enforce
+// that. A Reset engine is persistent and must be released with Close.
 package rws
 
 import (

@@ -22,6 +22,12 @@
 # still recorded so the regression is visible in the diff). Set
 # BENCH_ALLOW_REGRESSION=1 to downgrade the failure to a warning, e.g. when
 # a slower host is known to be the cause.
+#
+# Allocation gate: the engine-reuse benchmarks (Benchmark*Reuse) measure the
+# steady state of the Reset lifecycle, whose whole point is zero-alloc
+# replication; their allocs/op are additionally held to a pinned ceiling
+# (REUSE_ALLOC_CEILING, default 10). This guard is absolute, not relative,
+# so the zero-alloc property cannot erode one alloc at a time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,7 +46,30 @@ fi
 go test ./internal/machine/ ./internal/rws/ -run '^$' -bench . -benchmem \
     -count="$COUNT" "$@" | tee "$TMP"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" '
+# Wall-clock of the full experiment sweep (serial), best of COUNT runs: the
+# end-to-end number the engine-reuse lifecycle targets. Recorded alongside
+# the microbenchmarks; sweep_reference freezes the PR 4 binary's wall clock
+# on the same class of host for trajectory.
+EXPBIN="$(mktemp)"
+go build -o "$EXPBIN" ./cmd/experiments
+SWEEP_MS=""
+if [ "$(date +%s%N)" != "$(date +%s)N" ]; then # BSD date lacks %N; record null there
+    for _ in $(seq "$COUNT"); do
+        t0=$(date +%s%N)
+        "$EXPBIN" -scale full > /dev/null
+        t1=$(date +%s%N)
+        ms=$(( (t1 - t0) / 1000000 ))
+        if [ -z "$SWEEP_MS" ] || [ "$ms" -lt "$SWEEP_MS" ]; then SWEEP_MS=$ms; fi
+    done
+    echo "full sweep wall clock: ${SWEEP_MS}ms (best of $COUNT)"
+else
+    "$EXPBIN" -scale full > /dev/null # still smoke the sweep
+    echo "bench.sh: date lacks nanoseconds; sweep_full_ms recorded as null" >&2
+fi
+rm -f "$EXPBIN"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | awk '{print $3}')" \
+    -v sweepms="$SWEEP_MS" '
 /^pkg:/ { pkg = $2 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
@@ -66,7 +95,9 @@ END {
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"count\": %s,\n", "'"$COUNT"'"
-    printf "  \"note\": \"best-of-count ns/op; seed_reference is the pre-refactor implementation, frozen in PR 1\",\n"
+    printf "  \"note\": \"best-of-count ns/op; seed_reference is the pre-refactor implementation, frozen in PR 1; sweep_full_ms is the serial cmd/experiments -scale full wall clock, sweep_reference the PR 4 binary frozen in PR 5\",\n"
+    printf "  \"sweep_full_ms\": %s,\n", (sweepms == "" ? "null" : sweepms)
+    printf "  \"sweep_reference\": {\"pr4_full_ms\": 3405},\n"
     printf "  \"seed_reference\": {\n"
     printf "    \"rwsfs/internal/machine.BenchmarkAccessBlock\":      {\"ns_per_op\": 299.8, \"bytes_per_op\": 52, \"allocs_per_op\": 1},\n"
     printf "    \"rwsfs/internal/machine.BenchmarkAccessBlockHit\":   {\"ns_per_op\": 14.80, \"bytes_per_op\": 0, \"allocs_per_op\": 0},\n"
@@ -133,3 +164,22 @@ if [ -s "$PREV" ]; then
         fi
     }
 fi
+
+# Absolute allocs/op ceiling on the engine-reuse benchmarks.
+CEILING="${REUSE_ALLOC_CEILING:-10}"
+awk -v ceiling="$CEILING" '
+    /Reuse"/ && /"allocs_per_op":/ {
+        key = $0
+        sub(/^ *"/, "", key); sub(/".*/, "", key)
+        v = $0
+        sub(/.*"allocs_per_op": /, "", v); sub(/[,}].*/, "", v)
+        if (v + 0 > ceiling) {
+            printf "ALLOC CEILING %s: %s allocs/op > %s\n", key, v, ceiling
+            bad = 1
+        }
+    }
+    END { exit bad }
+' "$OUT" || {
+    echo "bench.sh: reuse benchmark exceeded the steady-state allocs/op ceiling ($CEILING)" >&2
+    exit 1
+}
