@@ -5,15 +5,22 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only E01,E09] [-md] [-par N]
-//	            [-cpuprofile out.prof] [-memprofile out.prof]
+//	            [-timeout 30s] [-cpuprofile out.prof] [-memprofile out.prof]
 //
 // -par fans each experiment's independent simulator runs out over N host
 // workers (0 = GOMAXPROCS). Runs are deterministic and results are ordered,
 // so the output is byte-identical to a serial run (E14, which measures the
 // host's wall clock, always runs its native timing serially).
+//
+// -timeout aborts the whole invocation after the given wall-clock duration.
+// Cancellation is polled at simulator-run boundaries (individual runs always
+// complete, keeping the runs that did execute bit-for-bit deterministic), so
+// the abort lands within one run's latency; partial tables are not printed
+// and the exit status is non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +36,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	par := flag.Int("par", 1, "parallel simulator runs per sweep (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0,
+		"abort after this wall-clock duration, at the next simulator-run boundary (0 = no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -53,6 +62,12 @@ func main() {
 		n = runtime.GOMAXPROCS(0)
 	}
 	harness.SetWorkers(n)
+
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		harness.SetContext(ctx)
+	}
 
 	var scale harness.Scale
 	switch *scaleFlag {
@@ -83,6 +98,14 @@ func main() {
 	failures := 0
 	for _, ex := range selected {
 		tbl := ex.Run(scale)
+		if err := harness.ContextErr(); err != nil {
+			// The sweep was cut off mid-experiment; the table would mix real
+			// and zero rows, so report the abort instead of printing it.
+			fmt.Fprintf(os.Stderr, "experiments: aborted at %s after -timeout %s: %v\n", ex.ID, *timeout, err)
+			pprof.StopCPUProfile()
+			writeMemProfile(*memprofile)
+			os.Exit(1)
+		}
 		if *md {
 			fmt.Print(tbl.Markdown())
 		} else {

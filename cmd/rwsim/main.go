@@ -38,9 +38,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 
-	"rwsfs/internal/alg/matmul"
-	"rwsfs/internal/alg/prefix"
-	"rwsfs/internal/alg/sorthbp"
 	"rwsfs/internal/harness"
 	"rwsfs/internal/machine"
 	"rwsfs/internal/rws"
@@ -175,39 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func makers(alg string, n int) (harness.Maker, bool) {
-	switch alg {
-	case "matmul-ip":
-		return harness.MMMaker(matmul.InPlaceDepthN, n, 8), true
-	case "matmul-la":
-		return harness.MMMaker(matmul.LimitedAccessDepthN, n, 8), true
-	case "matmul-log":
-		return harness.MMMaker(matmul.DepthLog2, n, 8), true
-	case "prefix":
-		return harness.PrefixMaker(n, prefix.Config{Chunk: 4}), true
-	case "prefix-padded":
-		return harness.PrefixMaker(n, prefix.Config{Chunk: 4, Padded: true}), true
-	case "transpose":
-		return harness.TransposeMaker(n), true
-	case "rm2bi":
-		return harness.RMToBIMaker(n), true
-	case "bi2rm":
-		return harness.BIToRMMaker(n, false), true
-	case "bi2rm-natural":
-		return harness.BIToRMMaker(n, true), true
-	case "bi2rm-rowgather":
-		return harness.BIToRMRowGatherMaker(n), true
-	case "sort-merge":
-		return harness.SortMaker(sorthbp.Mergesort, n), true
-	case "sort-col":
-		return harness.SortMaker(sorthbp.Columnsort, n), true
-	case "fft":
-		return harness.FFTMaker(n), true
-	case "listrank":
-		return harness.ListRankMaker(n), true
-	case "conncomp":
-		return harness.ConnCompMaker(n, 2*n), true
-	}
-	return nil, false
+	return harness.WorkloadMaker(alg, n)
 }
 
 func report(w io.Writer, alg string, n int, r rws.Result, policy string) {

@@ -1,0 +1,140 @@
+// Command rwsimd serves the work-stealing false-sharing simulator as a
+// fault-tolerant HTTP/JSON daemon.
+//
+//	rwsimd -addr :8080 -workers 4 -rate 50 -burst 100
+//
+// Endpoints:
+//
+//	POST /simulate   policy-keyed simulation request (JSON; see internal/serve.Request)
+//	GET  /healthz    liveness — 503 once draining so balancers stop routing here
+//	GET  /statz      counter snapshot (admissions, rejections, cache, chaos)
+//	GET  /workloads  registered workload names
+//
+// A SIGTERM or SIGINT triggers graceful drain: admission stops with typed
+// 503s, in-flight requests run to completion (bounded by -drain-grace), the
+// HTTP listener shuts down, and the final stats are flushed to the log.
+//
+// The -inject-* flags wire a serve.FaultInjector for chaos drills: they
+// deterministically pick requests (by canonical key) whose first attempt is
+// delayed, panicked, or stalled, exercising the retry, quarantine, hedging
+// and deadline paths against real traffic shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rwsfs/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation workers, each with its own engine pool (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "bounded work-queue depth; a full queue sheds load with typed 503s")
+		rate       = flag.Float64("rate", 0, "admission budget in requests/sec (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "admission burst size (defaults to 1 when -rate is set)")
+		cacheN     = flag.Int("cache", 1024, "LRU result-cache entries (-1 disables caching)")
+		attempts   = flag.Int("attempts", 3, "attempt budget per request around panicking runs")
+		backoff    = flag.Duration("backoff", 5*time.Millisecond, "base retry backoff (doubled per retry)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "re-dispatch a request to a second worker after this long (0 = off)")
+		deadline   = flag.Duration("deadline", 0, "default per-request deadline when the request carries none (0 = none)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight requests before hard-cancelling")
+		maxN       = flag.Int("max-n", 2048, "largest accepted problem size")
+		maxP       = flag.Int("max-p", 128, "largest accepted simulated processor count")
+		maxRuns    = flag.Int("max-runs", 64, "widest accepted seed sweep")
+
+		injPanic = flag.Int("inject-panic-every", 0, "chaos: panic the first attempt of every Nth request key (0 = off)")
+		injStall = flag.Int("inject-stall-every", 0, "chaos: stall the first attempt of every Nth request key (0 = off)")
+		injDelay = flag.Int("inject-delay-every", 0, "chaos: delay the first attempt of every Nth request key (0 = off)")
+		injDelayBy = flag.Duration("inject-delay", 50*time.Millisecond, "chaos: how long -inject-delay-every delays an attempt")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Rate:            *rate,
+		Burst:           *burst,
+		CacheEntries:    *cacheN,
+		MaxAttempts:     *attempts,
+		RetryBackoff:    *backoff,
+		HedgeAfter:      *hedgeAfter,
+		DefaultDeadline: *deadline,
+		DrainGrace:      *drainGrace,
+		Limits:          serve.Limits{MaxN: *maxN, MaxP: *maxP, MaxRuns: *maxRuns},
+		Injector:        buildInjector(*injPanic, *injStall, *injDelay, *injDelayBy),
+		Logf:            log.Printf,
+	}
+	if cfg.Injector != nil {
+		log.Printf("rwsimd: CHAOS MODE — fault injection active (panic=1/%d stall=1/%d delay=1/%d by %s)",
+			*injPanic, *injStall, *injDelay, *injDelayBy)
+	}
+
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("rwsimd: listening on %s (workers=%d queue=%d rate=%g cache=%d)",
+		*addr, *workers, *queue, *rate, *cacheN)
+
+	select {
+	case s := <-sig:
+		log.Printf("rwsimd: %s — draining", s)
+	case err := <-errc:
+		log.Fatalf("rwsimd: listener failed: %v", err)
+	}
+
+	// Drain first so /healthz flips to 503 and /simulate sheds with typed
+	// rejections while the listener winds down in-flight connections.
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("rwsimd: HTTP shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("rwsimd: shutdown complete")
+}
+
+// buildInjector turns the -inject-* knobs into a serve.FaultInjector, or nil
+// when all are off. Selection hashes the request's canonical key, so a given
+// request is deterministically faulty across retries of the drill — but only
+// its first attempt (attempt 0) is sabotaged, leaving the retry, hedge and
+// deadline machinery to dig the request out.
+func buildInjector(panicEvery, stallEvery, delayEvery int, delayBy time.Duration) serve.FaultInjector {
+	if panicEvery <= 0 && stallEvery <= 0 && delayEvery <= 0 {
+		return nil
+	}
+	return func(worker, attempt int, key string) serve.Fault {
+		if attempt != 0 {
+			return serve.Fault{}
+		}
+		h := fnv.New32a()
+		fmt.Fprint(h, key)
+		n := h.Sum32()
+		var f serve.Fault
+		if panicEvery > 0 && n%uint32(panicEvery) == 0 {
+			f.Panic = true
+		}
+		if stallEvery > 0 && n%uint32(stallEvery) == 1%uint32(stallEvery) {
+			f.Stall = true
+		}
+		if delayEvery > 0 && n%uint32(delayEvery) == 2%uint32(delayEvery) {
+			f.Delay = delayBy
+		}
+		return f
+	}
+}

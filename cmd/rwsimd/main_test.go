@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"rwsfs/internal/serve"
+)
+
+func TestBuildInjectorNilWhenOff(t *testing.T) {
+	if inj := buildInjector(0, 0, 0, time.Millisecond); inj != nil {
+		t.Fatal("all knobs off should disable injection entirely (nil injector)")
+	}
+}
+
+func TestBuildInjectorFirstAttemptOnly(t *testing.T) {
+	inj := buildInjector(1, 0, 0, 0) // every key panics on attempt 0
+	if f := inj(0, 0, "any-key"); !f.Panic {
+		t.Fatal("panic-every=1 should panic attempt 0 of every key")
+	}
+	for _, attempt := range []int{1, 2, 3} {
+		if f := inj(0, attempt, "any-key"); f != (serve.Fault{}) {
+			t.Fatalf("attempt %d should be clean, got %+v", attempt, f)
+		}
+	}
+}
+
+func TestBuildInjectorDeterministicPerKey(t *testing.T) {
+	inj := buildInjector(2, 3, 5, 7*time.Millisecond)
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	for _, k := range keys {
+		first := inj(0, 0, k)
+		for trial := 0; trial < 3; trial++ {
+			if again := inj(trial%4, 0, k); again != first {
+				t.Fatalf("key %q: injection not deterministic: %+v vs %+v", k, first, again)
+			}
+		}
+	}
+	// The drill must not fault every key — otherwise retries exhaust.
+	clean := 0
+	for _, k := range keys {
+		if inj(0, 0, k) == (serve.Fault{}) {
+			clean++
+		}
+	}
+	if clean == 0 {
+		t.Fatal("expected at least one clean key among the sample")
+	}
+}

@@ -12,7 +12,9 @@
 //
 //   - internal/rws: the scheduler and the Ctx fork-join programming model
 //   - internal/harness: the E01..E18 experiment registry
+//   - internal/serve: the fault-tolerant simulation service layer
 //   - cmd/rwsim, cmd/experiments: command-line front ends
+//   - cmd/rwsimd: the HTTP/JSON simulation daemon
 //   - examples/: runnable walkthroughs
 //
 // # Steal policies and topology
@@ -131,6 +133,39 @@
 // differential (TestEngineReuseMatchesFresh) and FuzzEngineReuse pin this —
 // and the steady state allocates ~4 times per run (ceiling 10, enforced by
 // scripts/bench.sh and CI on BenchmarkStealHeavyReuse/BenchmarkForkJoinReuse).
+//
+// # Running rwsimd (simulation as a service)
+//
+// cmd/rwsimd serves the simulator over HTTP/JSON: POST /simulate takes a
+// policy-keyed request (workload, size, processors, seed, machine shape,
+// steal policy, topology — see serve.Request), GET /workloads lists the
+// registered kernels, GET /statz exposes the outcome counters, and GET
+// /healthz flips to 503 once the daemon is draining. Engine determinism
+// (same normalized request ⇒ byte-equal result) is load-bearing for the
+// whole serving layer:
+//
+//   - identical concurrent requests are deduplicated single-flight and
+//     completed results are served from an LRU cache keyed on the request's
+//     canonical Config hash — the serve tests assert cached, deduped and
+//     fresh responses are byte-identical across every registered policy;
+//   - admission is a token bucket (-rate/-burst → typed 429s) in front of a
+//     bounded work queue (-queue → typed 503s), so overload degrades into
+//     fast, typed rejections;
+//   - per-request deadlines (deadline_ms, -deadline) cancel at simulator run
+//     boundaries via context; a panicking run quarantines its engine and is
+//     retried with backoff on a replacement (-attempts/-backoff); straggler
+//     dispatches can be hedged to a second worker (-hedge-after), correct
+//     because both attempts return identical bytes;
+//   - SIGTERM/SIGINT drains gracefully: admission stops with typed 503s,
+//     in-flight requests complete (bounded by -drain-grace), final stats
+//     flush to the log.
+//
+// The serve.FaultInjector hook (wired to the -inject-panic-every /
+// -inject-stall-every / -inject-delay-every flags) deterministically
+// sabotages chosen requests' first attempts; internal/serve's chaos suite
+// uses it to prove, under -race, that a request storm with injected panics,
+// stalls and stragglers yields only typed outcomes with nothing lost and
+// results bit-identical to fault-free runs.
 //
 // Semantics are pinned by differential tests against the straightforward
 // reference implementations (container/list LRU, map-based coherence, the

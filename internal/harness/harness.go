@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -261,6 +262,33 @@ var enginePool Runner
 // workers is the sweep fan-out width; see SetWorkers.
 var workers = 1
 
+// runCtx, when non-nil, is the cancellation signal the sweeps poll between
+// simulator runs; see SetContext.
+var runCtx context.Context
+
+// SetContext installs ctx as the sweep abort signal: once ctx is cancelled,
+// runPar stops dispatching further simulator runs — each individual run is a
+// deterministic Engine.Run that always completes, so cancellation lands
+// promptly at run boundaries, never mid-run (which would break bit-for-bit
+// determinism of the runs that did execute). Results for runs that were
+// skipped stay zero; callers detect the abort with ContextErr and must not
+// treat the partial tables as a finished sweep. Pass nil to clear. Like
+// SetWorkers, this is process-wide configuration: set it before the sweep,
+// not during one.
+func SetContext(ctx context.Context) { runCtx = ctx }
+
+// ContextErr reports why the sweeps stopped early: the installed context's
+// error, or nil when no context was installed or it is still live.
+func ContextErr() error {
+	if runCtx == nil {
+		return nil
+	}
+	return runCtx.Err()
+}
+
+// sweepCancelled is the boundary poll: true once the installed context died.
+func sweepCancelled() bool { return runCtx != nil && runCtx.Err() != nil }
+
 // SetWorkers sets how many simulator runs the experiment sweeps execute
 // concurrently on the host. Every run is an independent deterministic
 // Engine.Run over its own engine and inputs, and runPar returns results in
@@ -275,11 +303,17 @@ func SetWorkers(n int) {
 
 // runPar executes independent simulator runs and returns their results in
 // submission order. With one worker the jobs run serially in place;
-// otherwise they fan out over a bounded worker pool.
+// otherwise they fan out over a bounded worker pool. When a context was
+// installed with SetContext and it is cancelled, remaining jobs are skipped
+// (their results stay zero) — in-flight runs still complete, so the abort
+// is prompt but never tears a simulation mid-run.
 func runPar(jobs []func() rws.Result) []rws.Result {
 	out := make([]rws.Result, len(jobs))
 	if workers == 1 || len(jobs) <= 1 {
 		for i, job := range jobs {
+			if sweepCancelled() {
+				break
+			}
 			out[i] = job()
 		}
 		return out
@@ -295,6 +329,9 @@ func runPar(jobs []func() rws.Result) []rws.Result {
 		go func() {
 			defer wg.Done()
 			for j := range idx {
+				if sweepCancelled() {
+					continue // drain the channel; skip the remaining runs
+				}
 				out[j] = jobs[j]()
 			}
 		}()

@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"context"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"rwsfs/internal/rws"
 )
 
 func TestAllExperimentsQuick(t *testing.T) {
@@ -149,5 +153,70 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		if serial != parallel {
 			t.Errorf("%s: parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", id, serial, parallel)
 		}
+	}
+}
+
+func TestRunParCancelsAtRunBoundaries(t *testing.T) {
+	defer SetContext(nil)
+	defer SetWorkers(1)
+
+	mkJobs := func(n int, ran []int32) []func() rws.Result {
+		jobs := make([]func() rws.Result, n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() rws.Result {
+				atomic.AddInt32(&ran[i], 1)
+				return rws.Result{Makespan: 1}
+			}
+		}
+		return jobs
+	}
+
+	for _, w := range []int{1, 4} {
+		// A live context lets every job run.
+		SetWorkers(w)
+		ctx, cancel := context.WithCancel(context.Background())
+		SetContext(ctx)
+		ran := make([]int32, 16)
+		out := runPar(mkJobs(16, ran))
+		for i := range ran {
+			if ran[i] != 1 || out[i].Makespan != 1 {
+				t.Fatalf("workers=%d live ctx: job %d ran %d times (makespan %d)", w, i, ran[i], out[i].Makespan)
+			}
+		}
+		if err := ContextErr(); err != nil {
+			t.Fatalf("workers=%d: ContextErr = %v before cancellation", w, err)
+		}
+
+		// A cancelled context skips every remaining job, leaving zero Results.
+		cancel()
+		ran = make([]int32, 16)
+		out = runPar(mkJobs(16, ran))
+		for i := range ran {
+			if ran[i] != 0 || out[i].Makespan != 0 {
+				t.Fatalf("workers=%d cancelled ctx: job %d ran %d times", w, i, ran[i])
+			}
+		}
+		if ContextErr() == nil {
+			t.Fatalf("workers=%d: ContextErr = nil after cancellation", w)
+		}
+	}
+}
+
+func TestSetContextNilClearsAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	SetContext(ctx)
+	if ContextErr() == nil {
+		t.Fatal("cancelled context not observed")
+	}
+	SetContext(nil)
+	if err := ContextErr(); err != nil {
+		t.Fatalf("ContextErr after SetContext(nil) = %v, want nil", err)
+	}
+	ran := false
+	out := runPar([]func() rws.Result{func() rws.Result { ran = true; return rws.Result{Makespan: 7} }})
+	if !ran || out[0].Makespan != 7 {
+		t.Fatal("cleared context still suppressed the sweep")
 	}
 }

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"rwsfs/internal/alg/matmul"
+	"rwsfs/internal/alg/prefix"
+	"rwsfs/internal/alg/sorthbp"
+)
+
+// workloadNames lists every registered workload in a fixed order; it is the
+// single source of truth for the CLI's -alg flag and rwsimd's request
+// validation. Keep it in sync with the switch in WorkloadMaker.
+var workloadNames = []string{
+	"matmul-ip", "matmul-la", "matmul-log",
+	"prefix", "prefix-padded",
+	"transpose", "rm2bi", "bi2rm", "bi2rm-natural", "bi2rm-rowgather",
+	"sort-merge", "sort-col", "fft", "listrank", "conncomp",
+}
+
+// Workloads returns the registered workload names in a fixed order.
+func Workloads() []string {
+	out := make([]string, len(workloadNames))
+	copy(out, workloadNames)
+	return out
+}
+
+// WorkloadMaker resolves a workload name to its Maker at problem size n —
+// the registry behind cmd/rwsim's -alg flag and cmd/rwsimd's request "alg"
+// field. The second return is false for an unknown name. The Maker captures
+// its deterministic input data at resolution time, so one resolved Maker can
+// serve many runs over identical inputs.
+func WorkloadMaker(alg string, n int) (Maker, bool) {
+	switch alg {
+	case "matmul-ip":
+		return MMMaker(matmul.InPlaceDepthN, n, 8), true
+	case "matmul-la":
+		return MMMaker(matmul.LimitedAccessDepthN, n, 8), true
+	case "matmul-log":
+		return MMMaker(matmul.DepthLog2, n, 8), true
+	case "prefix":
+		return PrefixMaker(n, prefix.Config{Chunk: 4}), true
+	case "prefix-padded":
+		return PrefixMaker(n, prefix.Config{Chunk: 4, Padded: true}), true
+	case "transpose":
+		return TransposeMaker(n), true
+	case "rm2bi":
+		return RMToBIMaker(n), true
+	case "bi2rm":
+		return BIToRMMaker(n, false), true
+	case "bi2rm-natural":
+		return BIToRMMaker(n, true), true
+	case "bi2rm-rowgather":
+		return BIToRMRowGatherMaker(n), true
+	case "sort-merge":
+		return SortMaker(sorthbp.Mergesort, n), true
+	case "sort-col":
+		return SortMaker(sorthbp.Columnsort, n), true
+	case "fft":
+		return FFTMaker(n), true
+	case "listrank":
+		return ListRankMaker(n), true
+	case "conncomp":
+		return ConnCompMaker(n, 2*n), true
+	}
+	return nil, false
+}

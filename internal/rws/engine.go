@@ -1,6 +1,7 @@
 package rws
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -180,6 +181,9 @@ type Engine struct {
 	// strandsShut records that shutdown ended the pooled goroutines; Reset
 	// then discards the dead strand pool so the next run relaunches.
 	strandsShut bool
+	// closed marks an engine retired by Close: Run panics with a clear
+	// message and Reset returns ErrEngineClosed instead of reviving it.
+	closed bool
 
 	steals      int64
 	failed      int64
@@ -244,6 +248,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// ErrEngineClosed is returned by Reset on an engine that was released with
+// Close. A closed engine is retired for good: its pooled strand goroutines
+// are gone and it cannot be revived — construct a new engine instead.
+var ErrEngineClosed = errors.New("rws: engine is closed")
+
 // MustNewEngine is NewEngine but panics on error.
 func MustNewEngine(cfg Config) *Engine {
 	e, err := NewEngine(cfg)
@@ -270,8 +279,12 @@ func MustNewEngine(cfg Config) *Engine {
 //
 // Reset is only valid before the first Run or after a Run that returned
 // normally; an engine whose Run panicked must be discarded. On an invalid
-// cfg the engine is left untouched and stays usable.
+// cfg the engine is left untouched and stays usable. Reset on a closed
+// engine returns ErrEngineClosed: Close retires an engine permanently.
 func (e *Engine) Reset(cfg Config) error {
+	if e.closed {
+		return ErrEngineClosed
+	}
 	if cfg.RootStackWords <= 0 {
 		cfg.RootStackWords = 1 << 16
 	}
@@ -359,11 +372,16 @@ func (e *Engine) Reset(cfg Config) error {
 	return nil
 }
 
-// Close shuts down a persistent engine's parked strand goroutines. The
-// engine is unusable afterwards until Reset revives it. Close is a no-op on
-// an engine whose goroutines already exited (a single-use Run, or a second
-// Close).
+// Close shuts down a persistent engine's parked strand goroutines and
+// retires the engine: a closed engine cannot Run again, and Reset on it
+// returns ErrEngineClosed. Close is idempotent — second and later calls are
+// no-ops — and safe on an engine that never ran (there is nothing to shut
+// down yet) or whose goroutines already exited (a single-use Run).
 func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
 	if !e.strandsShut {
 		e.shutdown()
 	}
@@ -391,6 +409,9 @@ func (e *Engine) RunLean(rootFn func(*Ctx)) Result {
 }
 
 func (e *Engine) run(rootFn func(*Ctx), perProc bool) Result {
+	if e.closed {
+		panic("rws: Engine.Run on a closed engine (Close retires an engine for good)")
+	}
 	if e.root != nil {
 		panic("rws: Engine.Run called twice (Reset the engine between runs)")
 	}

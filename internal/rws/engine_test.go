@@ -1,7 +1,9 @@
 package rws
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rwsfs/internal/machine"
@@ -229,4 +231,59 @@ func TestAlgorithmPanicSurfaces(t *testing.T) {
 		c.Node()
 		panic("boom")
 	})
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	// Close before any Run: nothing to shut down, and a second Close is a
+	// no-op rather than a double shutdown.
+	e := MustNewEngine(DefaultConfig(2))
+	e.Close()
+	e.Close()
+
+	// Close after a persistent (Reset) Run: parked goroutines shut once.
+	e = MustNewEngine(DefaultConfig(2))
+	if err := e.Reset(DefaultConfig(2)); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	e.Run(func(c *Ctx) { c.Node() })
+	e.Close()
+	e.Close()
+
+	// Close after a single-use Run, whose goroutines already exited.
+	e = MustNewEngine(DefaultConfig(2))
+	e.Run(func(c *Ctx) { c.Node() })
+	e.Close()
+	e.Close()
+}
+
+func TestResetAfterCloseReturnsErrEngineClosed(t *testing.T) {
+	e := MustNewEngine(DefaultConfig(2))
+	if err := e.Reset(DefaultConfig(4)); err != nil {
+		t.Fatalf("Reset before Close: %v", err)
+	}
+	e.Run(func(c *Ctx) { c.Node() })
+	e.Close()
+	err := e.Reset(DefaultConfig(4))
+	if !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Reset after Close = %v, want ErrEngineClosed", err)
+	}
+	// The misuse must not have revived anything: a second Reset still fails.
+	if err := e.Reset(DefaultConfig(2)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("second Reset after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+func TestRunAfterClosePanicsClearly(t *testing.T) {
+	e := MustNewEngine(DefaultConfig(2))
+	e.Close()
+	defer func() {
+		pv := recover()
+		if pv == nil {
+			t.Fatalf("Run on a closed engine did not panic")
+		}
+		if msg, ok := pv.(string); !ok || !strings.Contains(msg, "closed engine") {
+			t.Fatalf("Run on a closed engine panicked with %v, want a closed-engine message", pv)
+		}
+	}()
+	e.Run(func(c *Ctx) { c.Node() })
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the admission-control budget: Take spends one token, and
+// tokens refill continuously at rate per second up to burst. rate <= 0
+// disables the limiter (Take always succeeds). Time is read through now so
+// tests can drive the clock deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst
+	b.last = now()
+	return b
+}
+
+// Take spends one token if available.
+func (b *tokenBucket) Take() bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,56 @@
+package serve
+
+import "net/http"
+
+// apiError is a typed rejection: every non-200 the daemon produces carries
+// one of these codes, so clients (and the chaos suite) can tell load
+// shedding from deadline expiry from a genuine internal failure — a request
+// is never silently lost.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody is the JSON envelope of a rejection.
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// The typed rejection vocabulary.
+const (
+	codeInvalid     = "invalid_request" // 400: malformed or out-of-limits request
+	codeRateLimited = "rate_limited"    // 429: admission token bucket empty
+	codeQueueFull   = "queue_full"      // 503: bounded work queue shed the load
+	codeDraining    = "draining"        // 503: graceful shutdown stopped admission
+	codeDeadline    = "deadline"        // 504: per-request deadline expired
+	codeInternal    = "internal"        // 500: retries exhausted on repeated panics
+)
+
+func errInvalid(msg string) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: codeInvalid, Message: msg}
+}
+
+func errRateLimited() *apiError {
+	return &apiError{Status: http.StatusTooManyRequests, Code: codeRateLimited,
+		Message: "admission budget exhausted; retry with backoff"}
+}
+
+func errQueueFull() *apiError {
+	return &apiError{Status: http.StatusServiceUnavailable, Code: codeQueueFull,
+		Message: "work queue full; load shed"}
+}
+
+func errDraining() *apiError {
+	return &apiError{Status: http.StatusServiceUnavailable, Code: codeDraining,
+		Message: "server draining; not admitting new requests"}
+}
+
+func errDeadline() *apiError {
+	return &apiError{Status: http.StatusGatewayTimeout, Code: codeDeadline,
+		Message: "request deadline expired"}
+}
+
+func errInternal(msg string) *apiError {
+	return &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: msg}
+}

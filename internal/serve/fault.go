@@ -1,0 +1,30 @@
+package serve
+
+import "time"
+
+// Fault is one injected misbehavior applied to a single worker attempt. The
+// zero value injects nothing.
+type Fault struct {
+	// Delay makes the worker a straggler: it sleeps this long before the
+	// attempt's first engine checkout (interruptible by the request
+	// deadline). Hedged re-dispatch exists for exactly this shape.
+	Delay time.Duration
+	// Panic poisons the attempt: the worker panics after checking an engine
+	// out of its pool, exercising the recovery path — the engine is
+	// quarantined (never recycled) and the next checkout replaces it from
+	// the pool. Retry-with-backoff exists for exactly this shape.
+	Panic bool
+	// Stall simulates a stuck engine: the attempt blocks until the request
+	// context is done and then reports a cancellation, never producing a
+	// result. Deadlines and hedging exist for exactly this shape.
+	Stall bool
+}
+
+// FaultInjector decides, per worker attempt, what misbehavior to inject; nil
+// disables injection entirely (the production configuration). It is called
+// with the worker's ID, the attempt ordinal for the request (retries count
+// up from 0; hedged attempts start at Config.MaxAttempts so an injector can
+// target first attempts only), and the request's canonical key — enough to
+// build deterministic chaos schedules keyed on the request. Injectors run on
+// worker goroutines and must be safe for concurrent use.
+type FaultInjector func(worker, attempt int, key string) Fault

@@ -1,0 +1,51 @@
+package serve
+
+import "sync"
+
+// flightGroup is single-flight dedup over in-flight computations: all
+// concurrent requests with one canonical key share one computation (and one
+// admission token, one queue slot, one engine). Unlike the usual library
+// shape, waiters do not block inside the group — join hands every caller the
+// call record and tells the first one it is the leader; followers select on
+// the record's done channel against their own deadline, so one slow waiter
+// never holds the others.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one shared computation. The leader fills p or reject, then
+// closes done; followers read the fields only after done is closed.
+type flightCall struct {
+	done   chan struct{}
+	p      *payload
+	reject *apiError
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key, creating it (leader = true) when
+// none exists. The leader must call finish exactly once.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome and releases the key. The key is
+// removed before done is closed, so a request arriving after completion
+// starts a fresh flight (and finds the result in the cache instead).
+func (g *flightGroup) finish(key string, c *flightCall, p *payload, reject *apiError) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.p, c.reject = p, reject
+	close(c.done)
+}

@@ -1,0 +1,472 @@
+// Package serve implements rwsimd's serving layer: a fault-tolerant HTTP/
+// JSON front end over the deterministic simulator. Requests are policy-keyed
+// simulation configurations (canonical Config hash + seed); the daemon
+// shards them across per-worker pools of reusable engines and wraps the
+// whole path in a robustness layer:
+//
+//   - token-bucket admission control with typed 429 rejections, and a
+//     bounded work queue that sheds load with typed 503s — a request storm
+//     degrades into fast rejections instead of melting the host;
+//   - per-request deadlines propagated via context.Context into the sweep
+//     loop, landing at run boundaries (individual runs always complete, so
+//     the runs that did execute stay bit-for-bit deterministic);
+//   - single-flight dedup plus an LRU result cache keyed on the canonical
+//     Config hash — engine determinism (same Config+Seed ⇒ byte-equal
+//     Result) makes both trivially correct, and the cache tests assert the
+//     byte equality end to end;
+//   - panic recovery that quarantines a poisoned engine and replaces it from
+//     the pool, retry-with-backoff around panicking attempts, and optional
+//     hedged re-dispatch for straggler workers;
+//   - graceful drain: Drain stops admission (typed 503s), in-flight requests
+//     finish, Close flushes the final stats.
+//
+// The FaultInjector hook injects delayed, panicking and stuck attempts so
+// the chaos suite can prove all of the above under a request storm.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rwsfs/internal/harness"
+)
+
+// Config tunes the daemon; zero values take the documented defaults.
+type Config struct {
+	// Workers is the number of simulation workers, each owning its own
+	// engine pool (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the work queue; a full queue sheds load with typed
+	// 503s (default 64).
+	QueueDepth int
+	// Rate and Burst set the token-bucket admission budget in requests per
+	// second; Rate <= 0 disables the limiter.
+	Rate  float64
+	Burst int
+	// CacheEntries bounds the LRU result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// MaxAttempts is the per-request attempt budget around panicking runs
+	// (default 3: one try, two retries).
+	MaxAttempts int
+	// RetryBackoff is the base backoff before retry k (doubled per retry,
+	// default 5ms).
+	RetryBackoff time.Duration
+	// HedgeAfter re-dispatches a request to a second worker when the first
+	// has not answered in this long; 0 disables hedging. Determinism makes
+	// hedging trivially correct: both attempts produce byte-equal results,
+	// whichever lands first wins.
+	HedgeAfter time.Duration
+	// DefaultDeadline bounds requests that carry no deadline_ms of their
+	// own; 0 means no default deadline.
+	DefaultDeadline time.Duration
+	// DrainGrace is how long Close waits for in-flight requests before
+	// hard-cancelling them (default 30s).
+	DrainGrace time.Duration
+	// Limits bound what a single request may ask for.
+	Limits Limits
+	// Injector, when non-nil, injects faults into worker attempts (chaos
+	// testing only).
+	Injector FaultInjector
+	// Logf, when non-nil, receives operational log lines (drain progress,
+	// final stats).
+	Logf func(format string, args ...any)
+	// now overrides the admission clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 1024
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 30 * time.Second
+	}
+	c.Limits = c.Limits.withDefaults()
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats is a snapshot of the daemon's counters; every received request ends
+// in exactly one of the outcome counters (OK, Invalid, RateLimited,
+// QueueFull, DrainRejected, DeadlineExpired, Internal), which is how the
+// chaos suite proves no request is ever lost.
+type Stats struct {
+	Received        int64 `json:"received"`
+	OK              int64 `json:"ok"`
+	Invalid         int64 `json:"invalid"`
+	RateLimited     int64 `json:"rate_limited"`
+	QueueFull       int64 `json:"queue_full"`
+	DrainRejected   int64 `json:"drain_rejected"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	Internal        int64 `json:"internal"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	Dedups      int64 `json:"dedups"`
+	Simulations int64 `json:"simulations"`
+	Panics      int64 `json:"panics"`
+	Retries     int64 `json:"retries"`
+	Hedges      int64 `json:"hedges"`
+	HedgeWins   int64 `json:"hedge_wins"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+// add bumps one counter; all counter access is atomic.
+func (st *Stats) add(f *int64, n int64) { atomic.AddInt64(f, n) }
+
+// snapshot copies the counters atomically.
+func (st *Stats) snapshot() Stats {
+	var out Stats
+	for _, c := range []struct{ dst, src *int64 }{
+		{&out.Received, &st.Received}, {&out.OK, &st.OK}, {&out.Invalid, &st.Invalid},
+		{&out.RateLimited, &st.RateLimited}, {&out.QueueFull, &st.QueueFull},
+		{&out.DrainRejected, &st.DrainRejected}, {&out.DeadlineExpired, &st.DeadlineExpired},
+		{&out.Internal, &st.Internal}, {&out.CacheHits, &st.CacheHits},
+		{&out.Dedups, &st.Dedups}, {&out.Simulations, &st.Simulations},
+		{&out.Panics, &st.Panics}, {&out.Retries, &st.Retries},
+		{&out.Hedges, &st.Hedges}, {&out.HedgeWins, &st.HedgeWins},
+		{&out.Quarantined, &st.Quarantined},
+	} {
+		*c.dst = atomic.LoadInt64(c.src)
+	}
+	return out
+}
+
+// Server is the rwsimd daemon: an http.Handler plus the worker fleet behind
+// it. Construct with New, serve via any http.Server, and shut down with
+// Drain (stop admitting) followed by Close (wait for in-flight work, stop
+// workers, flush stats).
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	queue  chan *job
+	bucket *tokenBucket
+	cache  *resultCache
+	flight *flightGroup
+	stats  Stats
+
+	// baseCtx outlives any single request: shared computations run under it
+	// (plus the request deadline) so one client disconnecting cannot kill a
+	// result other requests are waiting on. Close cancels it after the drain
+	// grace to hard-stop wedged work.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	drainMu   sync.RWMutex
+	draining  bool
+	handlerWG sync.WaitGroup
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds the daemon and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		queue:  make(chan *job, cfg.QueueDepth),
+		bucket: newTokenBucket(cfg.Rate, cfg.Burst, cfg.now),
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightGroup(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{id: i, s: s}
+		s.workerWG.Add(1)
+		go w.loop()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting new requests: /simulate answers typed 503s and
+// /healthz reports draining (so load balancers stop routing here), while
+// requests already in flight run to completion. Safe to call repeatedly.
+func (s *Server) Drain() {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		s.cfg.Logf("serve: draining — admission stopped, waiting for in-flight requests")
+	}
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Close drains, waits for in-flight requests (up to DrainGrace, then
+// hard-cancels the stragglers), stops the workers, releases every pooled
+// engine, and flushes the final stats. Safe to call once; subsequent calls
+// are no-ops.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.Drain()
+		done := make(chan struct{})
+		go func() {
+			s.handlerWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainGrace):
+			s.cfg.Logf("serve: drain grace %s expired; hard-cancelling stragglers", s.cfg.DrainGrace)
+			s.baseCancel()
+			<-done
+		}
+		s.baseCancel()
+		close(s.queue)
+		s.workerWG.Wait()
+		st := s.stats.snapshot()
+		b, _ := json.Marshal(st)
+		s.cfg.Logf("serve: drained; final stats %s", b)
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
+// admitHandler registers an in-flight handler unless the server is
+// draining. The registration happens under the drain lock, so Close's
+// handlerWG.Wait cannot miss a handler that slipped past the check.
+func (s *Server) admitHandler() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.handlerWG.Add(1)
+	return true
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.stats.add(&s.stats.Received, 1)
+	if !s.admitHandler() {
+		s.writeReject(w, errDraining())
+		return
+	}
+	defer s.handlerWG.Done()
+	start := time.Now()
+
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeReject(w, errInvalid(fmt.Sprintf("bad request body: %v", err)))
+		return
+	}
+	req.normalize()
+	if err := req.validate(s.cfg.Limits); err != nil {
+		s.writeReject(w, errInvalid(err.Error()))
+		return
+	}
+	key := req.Key()
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+
+	c, leader := s.flight.join(key)
+	if leader {
+		// The shared computation runs under the server's lifetime context
+		// plus this request's deadline — NOT the HTTP request context, so a
+		// disconnecting leader cannot kill a result its followers await.
+		workCtx := s.baseCtx
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			workCtx, cancel = context.WithTimeout(workCtx, deadline)
+			defer cancel()
+		}
+		p, reject := s.compute(workCtx, &req, key)
+		s.flight.finish(key, c, p, reject)
+		s.respond(w, p, reject, false, start)
+		return
+	}
+
+	// Follower: share the leader's outcome, bounded by our own deadline.
+	s.stats.add(&s.stats.Dedups, 1)
+	waitCtx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, deadline)
+		defer cancel()
+	}
+	select {
+	case <-c.done:
+		s.respond(w, c.p, c.reject, true, start)
+	case <-waitCtx.Done():
+		s.writeReject(w, errDeadline())
+	}
+}
+
+// compute is the leader's path: cache, then admission, then the worker
+// fleet. The cache is written before the flight record is released (in
+// handleSimulate), so a request arriving after completion finds either the
+// in-flight call or the cached payload — never a gap that would recompute.
+func (s *Server) compute(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+	if p, ok := s.cache.Get(key); ok {
+		s.stats.add(&s.stats.CacheHits, 1)
+		hit := *p // shallow copy: Runs is shared and immutable
+		hit.Cached = true
+		return &hit, nil
+	}
+	if !s.bucket.Take() {
+		return nil, errRateLimited()
+	}
+	p, reject := s.execute(ctx, req, key)
+	if reject != nil {
+		return nil, reject
+	}
+	s.cache.Add(key, p)
+	return p, nil
+}
+
+// execute dispatches the request to the worker fleet and waits, hedging a
+// straggler with one re-dispatch when configured. Result channels are
+// buffered for both attempts, so a losing attempt's late delivery is
+// dropped into the buffer, never blocking a worker.
+func (s *Server) execute(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+	res := make(chan jobResult, 2)
+	if !s.enqueue(&job{ctx: ctx, req: req, key: key, res: res}) {
+		return nil, errQueueFull()
+	}
+	outstanding := 1
+	var hedgeC <-chan time.Time
+	if s.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(s.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstReject *apiError
+	for {
+		select {
+		case r := <-res:
+			outstanding--
+			if r.reject == nil {
+				if r.hedge {
+					s.stats.add(&s.stats.HedgeWins, 1)
+				}
+				return r.p, nil
+			}
+			if firstReject == nil {
+				firstReject = r.reject
+			}
+			if outstanding == 0 {
+				return nil, firstReject
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hj := &job{ctx: ctx, req: req, key: key, res: res,
+				attemptBase: s.cfg.MaxAttempts, hedge: true}
+			if s.enqueue(hj) {
+				outstanding++
+				s.stats.add(&s.stats.Hedges, 1)
+			}
+		case <-ctx.Done():
+			// The workers observe the same context and answer into the
+			// buffered channel on their own schedule.
+			return nil, errDeadline()
+		}
+	}
+}
+
+// enqueue offers a job to the bounded queue without blocking; false means
+// the queue is full (load shed).
+func (s *Server) enqueue(j *job) bool {
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// respond writes the success or rejection for one request.
+func (s *Server) respond(w http.ResponseWriter, p *payload, reject *apiError, dedup bool, start time.Time) {
+	if reject != nil {
+		s.writeReject(w, reject)
+		return
+	}
+	s.stats.add(&s.stats.OK, 1)
+	writeJSON(w, http.StatusOK, Response{
+		payload:   *p,
+		Dedup:     dedup,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// writeReject writes a typed rejection and bumps its outcome counter.
+func (s *Server) writeReject(w http.ResponseWriter, e *apiError) {
+	switch e.Code {
+	case codeInvalid:
+		s.stats.add(&s.stats.Invalid, 1)
+	case codeRateLimited:
+		s.stats.add(&s.stats.RateLimited, 1)
+	case codeQueueFull:
+		s.stats.add(&s.stats.QueueFull, 1)
+	case codeDraining:
+		s.stats.add(&s.stats.DrainRejected, 1)
+	case codeDeadline:
+		s.stats.add(&s.stats.DeadlineExpired, 1)
+	default:
+		s.stats.add(&s.stats.Internal, 1)
+	}
+	writeJSON(w, e.Status, errorBody{Error: *e})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": harness.Workloads()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rwsfs/internal/harness"
+	"rwsfs/internal/rws"
+)
+
+// job is one queued computation. Workers send exactly one jobResult on res;
+// res is buffered for the maximum number of concurrent attempts (primary +
+// hedge) so a worker finishing after the requester gave up never blocks.
+type job struct {
+	ctx context.Context
+	req *Request
+	key string
+	res chan jobResult
+	// attemptBase offsets the attempt ordinals handed to the fault injector:
+	// 0 for the primary dispatch, Config.MaxAttempts for the hedge, so
+	// injectors can target primaries without also poisoning their hedges.
+	attemptBase int
+	hedge       bool
+}
+
+type jobResult struct {
+	p      *payload
+	reject *apiError
+	hedge  bool
+}
+
+// errRunPanicked marks an attempt that died to a recovered panic (retryable:
+// the poisoned engine was quarantined and the next attempt draws a
+// replacement from the pool).
+var errRunPanicked = errors.New("serve: run panicked")
+
+// worker owns one shard of the engine fleet: a harness.Runner pool whose
+// engines are Reset between requests instead of rebuilt. Requests are
+// sharded across workers by queue order; a quarantined engine only ever
+// costs its own worker a rebuild.
+type worker struct {
+	id   int
+	s    *Server
+	pool harness.Runner
+}
+
+// loop consumes jobs until the queue closes. Jobs whose deadline expired
+// while queued are answered without simulating.
+func (w *worker) loop() {
+	defer w.s.workerWG.Done()
+	defer w.pool.Close()
+	for j := range w.s.queue {
+		if j.ctx.Err() != nil {
+			j.deliver(jobResult{reject: errDeadline(), hedge: j.hedge})
+			continue
+		}
+		w.process(j)
+	}
+}
+
+// deliver sends the result without ever blocking: res is buffered for every
+// possible attempt, so a second send (hedge loser) or a send after the
+// requester returned still lands in the buffer and is garbage collected
+// with it.
+func (j *job) deliver(r jobResult) {
+	select {
+	case j.res <- r:
+	default:
+		// Buffer full can only mean more deliveries than attempts — drop
+		// rather than block the worker.
+	}
+}
+
+// process runs one job with retry-with-backoff around panicking attempts.
+func (w *worker) process(j *job) {
+	max := w.s.cfg.MaxAttempts
+	var reject *apiError
+	for a := 0; a < max; a++ {
+		if a > 0 {
+			w.s.stats.add(&w.s.stats.Retries, 1)
+			if !sleepCtx(j.ctx, w.s.cfg.RetryBackoff<<uint(a-1)) {
+				reject = errDeadline()
+				break
+			}
+		}
+		p, err := w.attempt(j, j.attemptBase+a)
+		if err == nil {
+			j.deliver(jobResult{p: p, hedge: j.hedge})
+			return
+		}
+		if errors.Is(err, errRunPanicked) {
+			reject = errInternal(fmt.Sprintf("simulation panicked %d time(s): %v", a+1, err))
+			continue // retry on a replacement engine
+		}
+		// Context expiry (deadline or drain hard-stop) is not retryable.
+		reject = errDeadline()
+		break
+	}
+	if reject == nil {
+		reject = errInternal("retries exhausted")
+	}
+	j.deliver(jobResult{reject: reject, hedge: j.hedge})
+}
+
+// attempt executes every run of the request once, on engines checked out of
+// this worker's pool. The fault injector is consulted once per attempt.
+// Panics — injected or from algorithm code — are recovered per run, the
+// engine involved is quarantined, and the attempt reports errRunPanicked so
+// process can retry.
+func (w *worker) attempt(j *job, attempt int) (*payload, error) {
+	var fault Fault
+	if inj := w.s.cfg.Injector; inj != nil {
+		fault = inj(w.id, attempt, j.key)
+	}
+	if fault.Delay > 0 && !sleepCtx(j.ctx, fault.Delay) {
+		return nil, j.ctx.Err()
+	}
+	if fault.Stall {
+		// A stuck engine never comes back on its own; the request's deadline
+		// (or the server's drain hard-stop) is what ends the wait. The stall
+		// happens before checkout, so no engine is held hostage.
+		<-j.ctx.Done()
+		return nil, j.ctx.Err()
+	}
+
+	cfg, err := j.req.config()
+	if err != nil {
+		// Unreachable after validation; surface as a panic-class failure.
+		return nil, fmt.Errorf("%w: %v", errRunPanicked, err)
+	}
+	mk, ok := harness.WorkloadMaker(j.req.Alg, j.req.N)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown alg %q", errRunPanicked, j.req.Alg)
+	}
+
+	out := make([]RunSummary, 0, j.req.Runs)
+	for i := 0; i < j.req.Runs; i++ {
+		// The deadline lands at run boundaries: a started run always
+		// completes (determinism forbids tearing one mid-flight), so a
+		// cancelled sweep returns promptly after the current run.
+		if j.ctx.Err() != nil {
+			return nil, j.ctx.Err()
+		}
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i)
+		sum, err := w.runOne(mk, runCfg, fault.Panic && i == 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sum)
+	}
+	return &payload{Key: j.key, Alg: j.req.Alg, Runs: out}, nil
+}
+
+// runOne performs a single simulated run on a pooled engine, recovering
+// panics. A panicking run quarantines its engine: the engine is closed
+// (best effort — its strand goroutines may be wedged) and never recycled,
+// so the pool replaces it with a fresh build on the next checkout.
+func (w *worker) runOne(mk harness.Maker, cfg rws.Config, injectPanic bool) (sum RunSummary, err error) {
+	var e *rws.Engine
+	defer func() {
+		if pv := recover(); pv != nil {
+			err = fmt.Errorf("%w: %v", errRunPanicked, pv)
+			w.s.stats.add(&w.s.stats.Panics, 1)
+			if e != nil {
+				w.s.quarantine(e)
+			}
+		}
+	}()
+	e, root := mk(&w.pool, cfg)
+	w.s.stats.add(&w.s.stats.Simulations, 1)
+	if injectPanic {
+		panic("serve: injected engine panic")
+	}
+	res := e.RunLean(root)
+	sum = summarize(cfg.Seed, res)
+	w.pool.Recycle(e)
+	return sum, nil
+}
+
+// quarantine retires a poisoned engine instead of recycling it. Close is
+// best effort under its own recover: a panicked run can leave strand
+// goroutines parked mid-protocol, and a quarantine must never take the
+// worker down with it.
+func (s *Server) quarantine(e *rws.Engine) {
+	s.stats.add(&s.stats.Quarantined, 1)
+	defer func() { recover() }()
+	e.Close()
+}
+
+// sleepCtx sleeps for d unless ctx ends first; false means interrupted.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

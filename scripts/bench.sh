@@ -121,9 +121,34 @@ END {
 
 echo "wrote $OUT"
 
+# count_benchmarks FILE — number of tracked entries in the "benchmarks"
+# section (seed_reference lines deliberately excluded). Used to distinguish
+# "nothing to compare" from "reference file is malformed": a reference that
+# parses to zero benchmarks must be a loud error, not a regression guard
+# that silently passes (or divides by zero on a bogus ns_per_op).
+count_benchmarks() {
+    awk '
+        /"benchmarks": \{/ { inb = 1; next }
+        inb && /^  \}/     { inb = 0 }
+        inb && /"ns_per_op":/ { c++ }
+        END { print c + 0 }
+    ' "$1"
+}
+
+if [ "$(count_benchmarks "$OUT")" -eq 0 ]; then
+    echo "bench.sh: parsed 0 benchmarks out of the go test output; $OUT is malformed (did the bench output format change?)" >&2
+    exit 1
+fi
+
 # Regression guard: compare the new ns/op against the previous recording for
 # every benchmark tracked in both files' "benchmarks" sections.
-if [ -s "$PREV" ]; then
+if [ ! -s "$PREV" ]; then
+    echo "bench.sh: no previous $OUT; first recording, regression guard skipped" >&2
+elif [ "$(count_benchmarks "$PREV")" -eq 0 ]; then
+    echo "bench.sh: previous $OUT is malformed (0 tracked benchmarks parsed); refusing to skip the regression guard silently" >&2
+    echo "bench.sh: restore it from git, or delete it to re-seed the trajectory" >&2
+    exit 1
+else
     awk '
     function record(file, dest,    line, q2, key, rest, v) {
         inbench = 0
@@ -148,6 +173,12 @@ if [ -s "$PREV" ]; then
         bad = 0
         for (key in old) {
             if (!(key in new)) continue
+            if (old[key] <= 0) {
+                # A zero/negative reference would divide by zero below; that
+                # is a malformed recording, not a perf signal.
+                printf "MALFORMED %s: previous ns_per_op %s is not positive\n", key, old[key]
+                exit 2
+            }
             if (new[key] > old[key] * 1.25) {
                 printf "REGRESSION %s: %.4g -> %.4g ns/op (+%.0f%%)\n", \
                     key, old[key], new[key], (new[key]/old[key] - 1) * 100
@@ -156,6 +187,11 @@ if [ -s "$PREV" ]; then
         }
         exit bad
     }' "$PREV" "$OUT" || {
+        rc=$?
+        if [ "$rc" -eq 2 ]; then
+            echo "bench.sh: previous $OUT is malformed; restore it from git or delete it to re-seed" >&2
+            exit 1
+        fi
         if [ "${BENCH_ALLOW_REGRESSION:-0}" = "1" ]; then
             echo "bench.sh: regression tolerated (BENCH_ALLOW_REGRESSION=1)" >&2
         else
