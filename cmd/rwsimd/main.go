@@ -5,14 +5,25 @@
 //
 // Endpoints:
 //
-//	POST /simulate   policy-keyed simulation request (JSON; see internal/serve.Request)
-//	GET  /healthz    liveness — 503 once draining so balancers stop routing here
-//	GET  /statz      counter snapshot (admissions, rejections, cache, chaos)
-//	GET  /workloads  registered workload names
+//	POST /simulate         policy-keyed simulation request (JSON; see internal/serve.Request)
+//	POST /batch            sweep spec → expanded row grid, streamed back as NDJSON
+//	GET  /batch            known batch jobs
+//	GET  /batch/{id}       per-row status of one batch job
+//	GET  /batch/{id}/grid  the job's terminal rows (NDJSON, byte-stable across restarts)
+//	GET  /healthz          liveness — 503 once draining so balancers stop routing here
+//	GET  /statz            stable JSON snapshot: uptime, in-flight gauge, counters
+//	GET  /workloads        registered workload names
+//
+// With -journal-dir set, every batch spec and row completion is fsync'd to an
+// append-only NDJSON journal; a restarted daemon replays it, serves finished
+// rows without recomputing them, and resumes the unfinished remainder — the
+// final grid is byte-identical to an uninterrupted run.
 //
 // A SIGTERM or SIGINT triggers graceful drain: admission stops with typed
-// 503s, in-flight requests run to completion (bounded by -drain-grace), the
-// HTTP listener shuts down, and the final stats are flushed to the log.
+// 503s, in-flight requests and dispatched batch rows run to completion
+// (bounded by -drain-grace) and are journaled; batch rows not yet dispatched
+// are checkpointed as unstarted for the next process. The HTTP listener shuts
+// down and the final stats are flushed to the log.
 //
 // The -inject-* flags wire a serve.FaultInjector for chaos drills: they
 // deterministically pick requests (by canonical key) whose first attempt is
@@ -52,6 +63,12 @@ func main() {
 		maxN       = flag.Int("max-n", 2048, "largest accepted problem size")
 		maxP       = flag.Int("max-p", 128, "largest accepted simulated processor count")
 		maxRuns    = flag.Int("max-runs", 64, "widest accepted seed sweep")
+		maxBody    = flag.Int64("max-body", 1<<20, "largest accepted request body in bytes (typed 413 beyond)")
+
+		journalDir    = flag.String("journal-dir", "", "durable batch-job journal directory (empty = batch jobs die with the process)")
+		quarAfter     = flag.Int("quarantine-after", 3, "circuit-break a request key after it panics on this many distinct engines (-1 = off)")
+		maxBatchRows  = flag.Int("max-batch-rows", 4096, "largest row grid one batch spec may expand to")
+		batchParallel = flag.Int("batch-parallel", 0, "batch rows in flight at once per job (0 = workers)")
 
 		injPanic = flag.Int("inject-panic-every", 0, "chaos: panic the first attempt of every Nth request key (0 = off)")
 		injStall = flag.Int("inject-stall-every", 0, "chaos: stall the first attempt of every Nth request key (0 = off)")
@@ -72,6 +89,11 @@ func main() {
 		DefaultDeadline: *deadline,
 		DrainGrace:      *drainGrace,
 		Limits:          serve.Limits{MaxN: *maxN, MaxP: *maxP, MaxRuns: *maxRuns},
+		MaxBodyBytes:    *maxBody,
+		JournalDir:      *journalDir,
+		QuarantineAfter: *quarAfter,
+		MaxBatchRows:    *maxBatchRows,
+		BatchParallel:   *batchParallel,
 		Injector:        buildInjector(*injPanic, *injStall, *injDelay, *injDelayBy),
 		Logf:            log.Printf,
 	}

@@ -1,0 +1,516 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rwsfs/internal/serve/jobs"
+)
+
+// batchEntry couples a batch job's state machine with its expanded rows
+// and (when durability is on) its journal log.
+type batchEntry struct {
+	job  *jobs.Job
+	rows []Request // index-aligned with the job's rows
+	log  *jobs.JobLog
+}
+
+// newJobID returns a fresh random job id (16 hex chars).
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: job id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// rowRequest builds the normalized Request of one grid cell; the row's
+// canonical key is Request.Key() — the same SHA-256 keying /simulate,
+// the result cache and the single-flight group use.
+func rowRequest(spec *jobs.Spec, c jobs.Cell) Request {
+	r := Request{
+		Alg: c.Alg, N: c.N, P: c.P, Seed: c.Seed, Runs: spec.Runs,
+		BlockWords: spec.BlockWords, CacheWords: spec.CacheWords,
+		CostMiss: spec.CostMiss, CostSteal: spec.CostSteal,
+		CostFailSteal: spec.CostFailSteal,
+		Policy:        c.Policy, Sockets: c.Sockets,
+		CostMissRemote: spec.CostMissRemote, StealCost: spec.StealCost,
+		StealCostRemote: spec.StealCostRemote,
+		DeadlineMS:      spec.RowDeadlineMS,
+	}
+	if spec.Budget != nil {
+		b := *spec.Budget
+		r.Budget = &b
+	}
+	r.normalize()
+	return r
+}
+
+// expandRows normalizes and validates a spec and materializes its rows.
+// Row validation reuses the /simulate limits, so a batch cannot smuggle in
+// work a single request would be rejected for.
+func expandRows(spec *jobs.Spec, lim Limits, maxRows int) ([]Request, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n := spec.RowCount(); n > maxRows {
+		return nil, fmt.Errorf("batch expands to %d rows, limit %d", n, maxRows)
+	}
+	cells := spec.Expand()
+	rows := make([]Request, len(cells))
+	for i, c := range cells {
+		rows[i] = rowRequest(spec, c)
+		if err := rows[i].validate(lim); err != nil {
+			return nil, fmt.Errorf("row %d (alg=%s n=%d p=%d policy=%s sockets=%d seed=%d): %v",
+				i, c.Alg, c.N, c.P, c.Policy, c.Sockets, c.Seed, err)
+		}
+	}
+	return rows, nil
+}
+
+func rowKeys(rows []Request) []string {
+	keys := make([]string, len(rows))
+	for i := range rows {
+		keys[i] = rows[i].Key()
+	}
+	return keys
+}
+
+// registerBatch indexes a job under its id.
+func (s *Server) registerBatch(e *batchEntry) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	s.batches[e.job.ID] = e
+	s.batchOrder = append(s.batchOrder, e.job.ID)
+}
+
+func (s *Server) batch(id string) (*batchEntry, bool) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	e, ok := s.batches[id]
+	return e, ok
+}
+
+// resumeJournaledJobs rebuilds every journaled job at startup: the spec is
+// re-expanded (deterministically, so row indexes and keys line up), the
+// journal's terminal rows are applied — those are served as-is, never
+// recomputed — and jobs with rows still missing get a runner to finish
+// them.
+func (s *Server) resumeJournaledJobs() {
+	if s.journal == nil {
+		return
+	}
+	replayed, err := s.journal.Replay()
+	if err != nil {
+		s.cfg.Logf("serve: journal replay failed (jobs not resumed): %v", err)
+		return
+	}
+	for _, rj := range replayed {
+		spec := rj.Spec
+		rows, err := expandRows(&spec, s.cfg.Limits, s.cfg.MaxBatchRows)
+		if err != nil {
+			s.cfg.Logf("serve: journal job %s: spec no longer expands (%v); leaving journal untouched", rj.ID, err)
+			continue
+		}
+		job := jobs.NewJob(rj.ID, spec, rowKeys(rows))
+		applied := job.ApplyReplayed(rj.Rows)
+		e := &batchEntry{job: job, rows: rows}
+		if job.Done() {
+			s.registerBatch(e)
+			s.cfg.Logf("serve: journal job %s complete (%d rows, all from journal)", rj.ID, job.Rows())
+			continue
+		}
+		log, err := s.journal.Reopen(rj.ID)
+		if err != nil {
+			// Resume without appending would recompute the same rows again on
+			// every restart; surface loudly and keep the job read-only.
+			s.cfg.Logf("serve: journal job %s: reopen failed (%v); job NOT resumed", rj.ID, err)
+			s.registerBatch(e)
+			job.Interrupt()
+			continue
+		}
+		e.log = log
+		s.registerBatch(e)
+		s.handlerWG.Add(1)
+		go s.runBatch(e)
+		s.cfg.Logf("serve: resuming job %s: %d/%d rows from journal, %d to compute",
+			rj.ID, applied, job.Rows(), job.Rows()-applied)
+	}
+}
+
+// handleBatchSubmit accepts a sweep spec, expands it into rows, durably
+// journals the spec, starts the row fan-out, and streams completed rows
+// back as NDJSON (a job header line first, one RowRecord line per row in
+// completion order, a trailer last). Disconnecting mid-stream does not
+// stop the job: rows keep completing into the journal, and the client can
+// re-read them via GET /batch/{id}/grid.
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admitHandler() {
+		writeBatchReject(w, errDraining())
+		return
+	}
+	defer s.exitHandler()
+
+	var spec jobs.Spec
+	if apiErr := s.decodeBody(w, r, &spec); apiErr != nil {
+		writeBatchReject(w, apiErr)
+		return
+	}
+	rows, err := expandRows(&spec, s.cfg.Limits, s.cfg.MaxBatchRows)
+	if err != nil {
+		writeBatchReject(w, errInvalid(err.Error()))
+		return
+	}
+	// One admission token per batch: the grid was bounded above, and rows
+	// inside a batch are queued behind live traffic rather than rejected.
+	if !s.bucket.Take() {
+		writeBatchReject(w, errRateLimited())
+		return
+	}
+	id, err := newJobID()
+	if err != nil {
+		writeBatchReject(w, errInternal(err.Error()))
+		return
+	}
+	job := jobs.NewJob(id, spec, rowKeys(rows))
+	e := &batchEntry{job: job, rows: rows}
+	if s.journal != nil {
+		log, err := s.journal.Create(id, &spec)
+		if err != nil {
+			writeBatchReject(w, errInternal(fmt.Sprintf("journal: %v", err)))
+			return
+		}
+		e.log = log
+	}
+	s.registerBatch(e)
+	s.stats.add(&s.stats.BatchJobs, 1)
+	s.handlerWG.Add(1)
+	go s.runBatch(e)
+	s.streamBatch(w, r, e)
+}
+
+// batchHeader opens the NDJSON stream.
+type batchHeader struct {
+	Type string `json:"type"` // "job"
+	Job  string `json:"job"`
+	Rows int    `json:"rows"`
+}
+
+// batchTrailer closes the NDJSON stream.
+type batchTrailer struct {
+	Type   string                 `json:"type"` // "end"
+	Job    string                 `json:"job"`
+	Status string                 `json:"status"`
+	Counts map[jobs.RowStatus]int `json:"counts"`
+}
+
+func jobStatus(j *jobs.Job) string {
+	switch {
+	case j.Done():
+		return "done"
+	case j.Interrupted():
+		return "interrupted"
+	default:
+		return "running"
+	}
+}
+
+// streamBatch writes the NDJSON row stream for one job.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, e *batchEntry) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(batchHeader{Type: "job", Job: e.job.ID, Rows: e.job.Rows()})
+	flush()
+
+	rowsCh, cancel := e.job.Subscribe()
+	defer cancel()
+	delivered := 0
+	total := e.job.Rows()
+	for delivered < total {
+		select {
+		case rec := <-rowsCh:
+			_ = enc.Encode(rec)
+			flush()
+			delivered++
+		case <-e.job.QuiescedCh():
+			// Done or interrupted: everything that will ever arrive is
+			// already buffered (the runner quiesces only after its last
+			// Finish). Drain it, then write the trailer.
+			for {
+				select {
+				case rec := <-rowsCh:
+					_ = enc.Encode(rec)
+					delivered++
+					continue
+				default:
+				}
+				break
+			}
+			_ = enc.Encode(batchTrailer{Type: "end", Job: e.job.ID,
+				Status: jobStatus(e.job), Counts: e.job.Counts()})
+			flush()
+			return
+		case <-r.Context().Done():
+			return // client gone; the job and its journal carry on
+		}
+	}
+	_ = enc.Encode(batchTrailer{Type: "end", Job: e.job.ID,
+		Status: jobStatus(e.job), Counts: e.job.Counts()})
+	flush()
+}
+
+// runBatch fans a job's unfinished rows over the worker fleet, at most
+// BatchParallel in flight, until the grid is complete or the server
+// drains. On drain, rows already dispatched finish (inside the drain
+// grace) and are journaled; rows not yet dispatched stay unstarted with no
+// journal record — exactly the set a restart recomputes. Zero rows are
+// lost either way.
+func (s *Server) runBatch(e *batchEntry) {
+	defer s.exitRunner()
+	job := e.job
+	sem := make(chan struct{}, s.cfg.BatchParallel)
+	var wg sync.WaitGroup
+	for i := range e.rows {
+		if job.StatusOf(i).Terminal() {
+			continue // replayed from the journal; never recomputed
+		}
+		if s.stopDispatch() {
+			break
+		}
+		sem <- struct{}{}
+		if s.stopDispatch() {
+			<-sem
+			break
+		}
+		if !job.Start(i) {
+			<-sem
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.runRow(e, i)
+		}(i)
+	}
+	wg.Wait()
+	if e.log != nil {
+		e.log.Close()
+	}
+	if job.Done() {
+		s.cfg.Logf("serve: batch %s done: %v", job.ID, job.Counts())
+	} else {
+		job.Interrupt()
+		s.cfg.Logf("serve: batch %s checkpointed at drain: %v", job.ID, job.Counts())
+	}
+}
+
+// exitRunner mirrors exitHandler for batch runner goroutines (registered
+// directly on handlerWG, without the in-flight HTTP gauge).
+func (s *Server) exitRunner() { s.handlerWG.Done() }
+
+// stopDispatch reports whether the runner should stop handing out rows:
+// the server is draining (graceful) or hard-cancelled (crash-like).
+func (s *Server) stopDispatch() bool {
+	return s.Draining() || s.baseCtx.Err() != nil
+}
+
+// runRow brings one row to a terminal state: compute, journal (fsync),
+// then publish. If the server was draining or hard-cancelled while the row
+// was in flight, a cancellation outcome checkpoints the row back to
+// unstarted instead — it holds no journal record and is recomputed on
+// restart, never recorded as a spurious failure.
+func (s *Server) runRow(e *batchEntry, i int) {
+	req := &e.rows[i]
+	key := e.job.Key(i)
+	ctx := s.baseCtx
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	p, reject := s.computeRow(ctx, req, key)
+	if reject != nil && reject.Code == codeDeadline && s.stopDispatch() {
+		e.job.Revert(i)
+		return
+	}
+
+	rec := jobs.RowRecord{Type: "row", Index: i, Key: key}
+	switch {
+	case reject == nil:
+		runs, err := json.Marshal(p.Runs)
+		if err != nil {
+			rec.Status, rec.Error = jobs.RowFailed, fmt.Sprintf("marshal result: %v", err)
+		} else {
+			rec.Status, rec.Result = jobs.RowOK, runs
+		}
+	case reject.Code == codeQuarantined:
+		rec.Status, rec.Error = jobs.RowQuarantined, reject.Message
+		s.stats.add(&s.stats.RowsQuarantined, 1)
+	case reject.Code == codeDeadline:
+		rec.Status, rec.Error = jobs.RowDeadline, reject.Message
+	default:
+		rec.Status, rec.Error = jobs.RowFailed, reject.Message
+	}
+	if e.log != nil {
+		if err := e.log.AppendRow(rec); err != nil {
+			// The row still completes in memory; durability for it is lost.
+			s.cfg.Logf("serve: batch %s row %d: journal append failed (row will recompute after a restart): %v",
+				e.job.ID, i, err)
+		}
+	}
+	s.stats.add(&s.stats.BatchRows, 1)
+	e.job.Finish(rec)
+}
+
+// computeRow is the batch-side analogue of compute: same canonical key,
+// same single-flight group and result cache, but rows block on the work
+// queue instead of shedding (the batch was admitted as a whole) and spend
+// no admission tokens. A follower that inherits a /simulate leader's
+// admission rejection (rate_limited, queue_full) retries the flight — for
+// a batch row those outcomes are transient serving artifacts, not results.
+func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+	var lastReject *apiError
+	for tries := 0; tries < 8; tries++ {
+		c, leader := s.flight.join(key)
+		if leader {
+			p, reject := s.computeRowLeader(ctx, req, key)
+			s.flight.finish(key, c, p, reject)
+			return p, reject
+		}
+		s.stats.add(&s.stats.Dedups, 1)
+		select {
+		case <-c.done:
+			if c.reject == nil {
+				return c.p, nil
+			}
+			if c.reject.Code != codeRateLimited && c.reject.Code != codeQueueFull {
+				return nil, c.reject
+			}
+			lastReject = c.reject
+		case <-ctx.Done():
+			return nil, errDeadline()
+		}
+	}
+	return nil, lastReject
+}
+
+func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+	if p, ok := s.cache.Get(key); ok {
+		s.stats.add(&s.stats.CacheHits, 1)
+		return p, nil
+	}
+	res := make(chan jobResult, 1)
+	jb := &job{ctx: ctx, req: req, key: key, res: res}
+	select {
+	case s.queue <- jb:
+	case <-ctx.Done():
+		return nil, errDeadline()
+	}
+	select {
+	case r := <-res:
+		if r.reject != nil {
+			return nil, r.reject
+		}
+		s.cache.Add(key, r.p)
+		return r.p, nil
+	case <-ctx.Done():
+		return nil, errDeadline()
+	}
+}
+
+// writeBatchReject writes a typed rejection for the batch surface. Unlike
+// writeReject it does not touch the /simulate outcome ledger (Received is
+// only bumped there).
+func writeBatchReject(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Status, errorBody{Error: *e})
+}
+
+// batchStatus is the GET /batch/{id} body.
+type batchStatus struct {
+	Job    string                 `json:"job"`
+	Status string                 `json:"status"`
+	Rows   int                    `json:"rows"`
+	Counts map[jobs.RowStatus]int `json:"counts"`
+	Grid   []batchRowStatus       `json:"grid"`
+}
+
+type batchRowStatus struct {
+	Index  int            `json:"index"`
+	Key    string         `json:"key"`
+	Status jobs.RowStatus `json:"status"`
+}
+
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.batch(r.PathValue("id"))
+	if !ok {
+		writeBatchReject(w, errNotFound(fmt.Sprintf("unknown batch job %q", r.PathValue("id"))))
+		return
+	}
+	sts := e.job.Statuses()
+	grid := make([]batchRowStatus, len(sts))
+	for i, st := range sts {
+		grid[i] = batchRowStatus{Index: i, Key: e.job.Key(i), Status: st}
+	}
+	writeJSON(w, http.StatusOK, batchStatus{
+		Job: e.job.ID, Status: jobStatus(e.job), Rows: e.job.Rows(),
+		Counts: e.job.Counts(), Grid: grid,
+	})
+}
+
+// handleBatchGrid streams the job's terminal rows in index order as NDJSON
+// — for a done job, the complete grid. Each line is the journaled
+// RowRecord verbatim, so the grid of a resumed job is byte-identical to an
+// uninterrupted run's; the kill-restart chaos test pins exactly that.
+func (s *Server) handleBatchGrid(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.batch(r.PathValue("id"))
+	if !ok {
+		writeBatchReject(w, errNotFound(fmt.Sprintf("unknown batch job %q", r.PathValue("id"))))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, rec := range e.job.TerminalRecords() {
+		_ = enc.Encode(rec)
+	}
+}
+
+// batchListEntry is one row of the GET /batch listing.
+type batchListEntry struct {
+	Job    string `json:"job"`
+	Status string `json:"status"`
+	Rows   int    `json:"rows"`
+}
+
+func (s *Server) handleBatchList(w http.ResponseWriter, r *http.Request) {
+	s.batchMu.Lock()
+	order := append([]string(nil), s.batchOrder...)
+	s.batchMu.Unlock()
+	out := make([]batchListEntry, 0, len(order))
+	for _, id := range order {
+		if e, ok := s.batch(id); ok {
+			out = append(out, batchListEntry{Job: id, Status: jobStatus(e.job), Rows: e.job.Rows()})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]batchListEntry{"jobs": out})
+}

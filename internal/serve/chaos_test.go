@@ -181,7 +181,7 @@ func TestChaosStorm(t *testing.T) {
 	// 3. The stats ledger accounts for every received request.
 	st := s.Stats()
 	if sum := st.OK + st.Invalid + st.RateLimited + st.QueueFull + st.DrainRejected +
-		st.DeadlineExpired + st.Internal; sum != st.Received || st.Received < int64(total) {
+		st.DeadlineExpired + st.TooLarge + st.Internal; sum != st.Received || st.Received < int64(total) {
 		t.Fatalf("ledger mismatch: outcomes %d vs received %d (sent %d): %+v", sum, st.Received, total, st)
 	}
 	if st.Internal != 0 {

@@ -1,6 +1,9 @@
 package serve
 
-import "net/http"
+import (
+	"fmt"
+	"net/http"
+)
 
 // apiError is a typed rejection: every non-200 the daemon produces carries
 // one of these codes, so clients (and the chaos suite) can tell load
@@ -25,6 +28,9 @@ const (
 	codeDraining    = "draining"        // 503: graceful shutdown stopped admission
 	codeDeadline    = "deadline"        // 504: per-request deadline expired
 	codeInternal    = "internal"        // 500: retries exhausted on repeated panics
+	codeTooLarge    = "body_too_large"  // 413: request body exceeds the configured bound
+	codeQuarantined = "row_quarantined" // 500: configuration tripped the per-key circuit breaker
+	codeNotFound    = "not_found"       // 404: unknown batch job id
 )
 
 func errInvalid(msg string) *apiError {
@@ -53,4 +59,18 @@ func errDeadline() *apiError {
 
 func errInternal(msg string) *apiError {
 	return &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: msg}
+}
+
+func errTooLarge(limit int64) *apiError {
+	return &apiError{Status: http.StatusRequestEntityTooLarge, Code: codeTooLarge,
+		Message: fmt.Sprintf("request body exceeds %d bytes", limit)}
+}
+
+func errQuarantined(panics int) *apiError {
+	return &apiError{Status: http.StatusInternalServerError, Code: codeQuarantined,
+		Message: fmt.Sprintf("configuration quarantined after panicking on %d distinct engines", panics)}
+}
+
+func errNotFound(what string) *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: codeNotFound, Message: what}
 }

@@ -1,0 +1,71 @@
+package jobs
+
+import "sync"
+
+// Breaker is the per-row-key circuit breaker: a configuration that panics
+// on K distinct engines is poisoned by construction (engine determinism
+// means a panic is a property of the configuration, not of the engine that
+// ran it), so further attempts are fenced off with a typed row_quarantined
+// instead of burning retry budget and engine rebuilds on every future
+// encounter.
+//
+// The breaker tracks only keys that have panicked at least once; to keep a
+// long-lived daemon's memory bounded under an adversarial key stream, the
+// tracked set is capped and untripped strays are evicted arbitrarily —
+// losing a count only delays a trip, never fabricates one.
+type Breaker struct {
+	mu     sync.Mutex
+	k      int
+	max    int
+	counts map[string]int
+}
+
+// breakerMaxTracked bounds the panic-count map; see the type comment.
+const breakerMaxTracked = 4096
+
+// NewBreaker returns a breaker that trips a key after k panics; k <= 0
+// disables tripping entirely (Record still counts, Tripped is always
+// false).
+func NewBreaker(k int) *Breaker {
+	return &Breaker{k: k, max: breakerMaxTracked, counts: make(map[string]int)}
+}
+
+// Record counts one engine panic against key and reports whether the key
+// is now (or already was) tripped.
+func (b *Breaker) Record(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.counts[key]; !ok && len(b.counts) >= b.max {
+		b.evictLocked()
+	}
+	b.counts[key]++
+	return b.k > 0 && b.counts[key] >= b.k
+}
+
+// evictLocked drops one untripped entry (or, failing that, any entry) to
+// make room. Map iteration order is arbitrary, which is all we need.
+func (b *Breaker) evictLocked() {
+	var fallback string
+	for k, n := range b.counts {
+		if b.k <= 0 || n < b.k {
+			delete(b.counts, k)
+			return
+		}
+		fallback = k
+	}
+	delete(b.counts, fallback)
+}
+
+// Tripped reports whether key has reached the panic threshold.
+func (b *Breaker) Tripped(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.k > 0 && b.counts[key] >= b.k
+}
+
+// Panics returns the recorded panic count for key.
+func (b *Breaker) Panics(key string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[key]
+}

@@ -1,0 +1,294 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// RowStatus is the terminal (journaled) or live state of one batch row.
+type RowStatus string
+
+const (
+	// RowUnstarted rows have no journal record; they are exactly the rows a
+	// resumed job recomputes.
+	RowUnstarted RowStatus = "unstarted"
+	// RowRunning rows are in flight; a drain checkpoints them back to
+	// unstarted unless they finish inside the grace.
+	RowRunning RowStatus = "running"
+	// RowOK rows completed with a result.
+	RowOK RowStatus = "ok"
+	// RowFailed rows exhausted their retry budget on non-quarantine failures.
+	RowFailed RowStatus = "failed"
+	// RowDeadline rows ran out of their per-row deadline.
+	RowDeadline RowStatus = "deadline"
+	// RowQuarantined rows tripped the per-key circuit breaker: the
+	// configuration panicked on K distinct engines and is fenced off instead
+	// of burning the rest of the job's budget.
+	RowQuarantined RowStatus = "row_quarantined"
+)
+
+// Terminal reports whether the status is final (journaled, never recomputed).
+func (s RowStatus) Terminal() bool {
+	switch s {
+	case RowOK, RowFailed, RowDeadline, RowQuarantined:
+		return true
+	}
+	return false
+}
+
+// RowRecord is one journaled row completion. The same shape is the wire
+// format of the /batch NDJSON stream and the /batch/{id}/grid rows, so the
+// bytes a client streams, the bytes the journal holds, and the bytes the
+// grid serves after a resume are all the same bytes.
+type RowRecord struct {
+	Type   string          `json:"type"` // always "row"
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Status RowStatus       `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// specRecord opens each job file.
+type specRecord struct {
+	Type string          `json:"type"` // always "spec"
+	Job  string          `json:"job"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// record is the decode-side envelope covering both record shapes.
+type record struct {
+	Type string          `json:"type"`
+	Job  string          `json:"job,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+
+	Index  int             `json:"index,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Status RowStatus       `json:"status,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+const journalExt = ".ndjson"
+
+// Journal is a directory of append-only per-job NDJSON logs. Every record
+// is fsync'd as it is appended, so a job survives a process hard-kill: on
+// restart, Replay rebuilds each job's spec and its finished rows, and only
+// the rows without a record are recomputed.
+type Journal struct {
+	dir string
+	// Logf receives replay warnings (torn tails, unreadable files); nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// OpenJournal opens (creating if needed) the journal directory.
+func OpenJournal(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("jobs: empty journal dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+func (j *Journal) logf(format string, args ...any) {
+	if j.Logf != nil {
+		j.Logf(format, args...)
+	}
+}
+
+func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+journalExt) }
+
+// Create opens a fresh log for job id and durably writes its spec record
+// (record fsync'd, then the directory entry fsync'd) before returning.
+func (j *Journal) Create(id string, spec *Spec) (*JobLog, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: marshal spec: %w", err)
+	}
+	f, err := os.OpenFile(j.path(id), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	l := &JobLog{f: f}
+	if err := l.append(specRecord{Type: "spec", Job: id, Spec: raw}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(j.dir); err != nil {
+		j.logf("jobs: journal dir sync: %v", err)
+	}
+	return l, nil
+}
+
+// Reopen opens an existing job's log for appending (resume path).
+func (j *Journal) Reopen(id string) (*JobLog, error) {
+	f, err := os.OpenFile(j.path(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	return &JobLog{f: f}, nil
+}
+
+// syncDir fsyncs a directory so a freshly created journal file's dirent is
+// durable too.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReplayedJob is one job reconstructed from its journal: the spec that
+// opened the log plus every intact row record, in append order.
+type ReplayedJob struct {
+	ID   string
+	Spec Spec
+	Rows []RowRecord
+}
+
+// Replay scans the journal directory and reconstructs every job. A torn
+// final line (the record a crash interrupted mid-write) is discarded;
+// anything after a corrupt line is treated as suspect and ignored, so a
+// replayed row is always one that was fully fsync'd. Files whose spec
+// record is unreadable are skipped with a warning — the serving layer
+// recomputes from scratch rather than trusting a broken log.
+func (j *Journal) Replay() ([]ReplayedJob, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read journal dir: %w", err)
+	}
+	var out []ReplayedJob
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, journalExt)
+		job, err := j.replayOne(id)
+		if err != nil {
+			j.logf("jobs: skipping journal %s: %v", name, err)
+			continue
+		}
+		out = append(out, job)
+	}
+	return out, nil
+}
+
+func (j *Journal) replayOne(id string) (ReplayedJob, error) {
+	f, err := os.Open(j.path(id))
+	if err != nil {
+		return ReplayedJob{}, err
+	}
+	defer f.Close()
+
+	job := ReplayedJob{ID: id}
+	r := bufio.NewReader(f)
+	first := true
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// A line without a trailing newline is a torn tail: the crash hit
+			// mid-write, before the fsync could have returned. Discard it.
+			if err == io.EOF {
+				if len(line) > 0 {
+					j.logf("jobs: journal %s: discarding torn final record", id)
+				}
+				break
+			}
+			return ReplayedJob{}, err
+		}
+		var rec record
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			// Append-only logs only ever corrupt at the tail; anything after
+			// a bad line is suspect, so stop here and keep what replayed.
+			j.logf("jobs: journal %s: stopping replay at corrupt line %d: %v", id, lineNo, uerr)
+			break
+		}
+		if first {
+			if rec.Type != "spec" {
+				return ReplayedJob{}, fmt.Errorf("first record is %q, want spec", rec.Type)
+			}
+			if err := json.Unmarshal(rec.Spec, &job.Spec); err != nil {
+				return ReplayedJob{}, fmt.Errorf("unreadable spec: %w", err)
+			}
+			job.Spec.Normalize()
+			first = false
+			continue
+		}
+		if rec.Type != "row" || !rec.Status.Terminal() {
+			j.logf("jobs: journal %s: ignoring unexpected %q record at line %d", id, rec.Type, lineNo)
+			continue
+		}
+		job.Rows = append(job.Rows, RowRecord{
+			Type: "row", Index: rec.Index, Key: rec.Key,
+			Status: rec.Status, Result: rec.Result, Error: rec.Error,
+		})
+	}
+	if first {
+		return ReplayedJob{}, errors.New("empty journal (no spec record)")
+	}
+	return job, nil
+}
+
+// JobLog is the append side of one job's journal. Appends are serialized
+// and fsync'd: when AppendRow returns nil, the row is durable.
+type JobLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// AppendRow durably appends one terminal row record. The line written is
+// exactly json.Marshal(rec) — the same bytes the /batch stream and the
+// grid endpoint emit for the row, which is what makes a resumed job's
+// final grid byte-identical to an uninterrupted run's.
+func (l *JobLog) AppendRow(rec RowRecord) error {
+	if !rec.Status.Terminal() {
+		return fmt.Errorf("jobs: refusing to journal non-terminal status %q", rec.Status)
+	}
+	rec.Type = "row"
+	return l.append(rec)
+}
+
+func (l *JobLog) append(rec any) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal record: %w", err)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("jobs: journal closed")
+	}
+	if _, err := l.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: journal write: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file. Safe to call more than once.
+func (l *JobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,216 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSpec() *Spec {
+	s := &Spec{Algs: []string{"prefix"}, Ns: []int{64}, Ps: []int{2}, Seeds: []int64{1, 2}}
+	s.Normalize()
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	log, err := j.Create("job1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []RowRecord{
+		{Index: 0, Key: "k0", Status: RowOK, Result: json.RawMessage(`[{"seed":1}]`)},
+		{Index: 1, Key: "k1", Status: RowQuarantined, Error: "panicked 3 time(s)"},
+	}
+	for _, r := range rows {
+		if err := log.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+
+	re, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re) != 1 || re[0].ID != "job1" {
+		t.Fatalf("replay: %+v", re)
+	}
+	if len(re[0].Rows) != 2 {
+		t.Fatalf("replayed %d rows, want 2", len(re[0].Rows))
+	}
+	for i, r := range re[0].Rows {
+		want := rows[i]
+		want.Type = "row"
+		got := r
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("row %d: replayed %s want %s", i, gb, wb)
+		}
+	}
+	if re[0].Spec.RowCount() != spec.RowCount() {
+		t.Fatalf("spec did not survive replay: %+v", re[0].Spec)
+	}
+}
+
+// TestJournalRowBytesStable pins that the journal line for a row is exactly
+// json.Marshal(RowRecord) — the same bytes the stream and grid endpoints
+// emit, which is what makes resumed grids byte-identical.
+func TestJournalRowBytesStable(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, err := j.Create("job1", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RowRecord{Type: "row", Index: 3, Key: "kk", Status: RowOK,
+		Result: json.RawMessage(`[{"seed":9,"makespan":12}]`)}
+	if err := log.AppendRow(rec); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, "job1"+journalExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want spec+row lines, got %d: %q", len(lines), raw)
+	}
+	want, _ := json.Marshal(rec)
+	if lines[1] != string(want) {
+		t.Fatalf("journal line differs from RowRecord marshal:\n%s\nvs\n%s", lines[1], want)
+	}
+}
+
+// TestJournalTornTail: a crash mid-write leaves a final line without its
+// newline; replay must discard exactly that record and keep the rest.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, err := j.Create("job1", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowOK})
+	log.Close()
+	path := filepath.Join(dir, "job1"+journalExt)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"row","index":1,"key":"k1","sta`) // torn mid-record
+	f.Close()
+
+	re, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re) != 1 || len(re[0].Rows) != 1 || re[0].Rows[0].Index != 0 {
+		t.Fatalf("torn tail not discarded cleanly: %+v", re)
+	}
+}
+
+// TestJournalCorruptLineStopsReplay: anything after a corrupt (complete but
+// unparseable) line is suspect; replay keeps only the prefix.
+func TestJournalCorruptLineStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, _ := j.Create("job1", testSpec())
+	log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowOK})
+	log.Close()
+	path := filepath.Join(dir, "job1"+journalExt)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("NOT JSON\n")
+	f.WriteString(`{"type":"row","index":1,"key":"k1","status":"ok"}` + "\n")
+	f.Close()
+
+	re, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re) != 1 || len(re[0].Rows) != 1 {
+		t.Fatalf("replay did not stop at corrupt line: %+v", re)
+	}
+}
+
+// TestJournalSkipsUnreadableSpec: a job file whose spec record is broken is
+// skipped entirely (recompute from scratch beats trusting a broken log),
+// without sinking the other jobs in the directory.
+func TestJournalSkipsUnreadableSpec(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, _ := j.Create("good", testSpec())
+	log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowOK})
+	log.Close()
+	if err := os.WriteFile(filepath.Join(dir, "bad"+journalExt),
+		[]byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "empty"+journalExt), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings int
+	j.Logf = func(string, ...any) { warnings++ }
+	re, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re) != 1 || re[0].ID != "good" {
+		t.Fatalf("want only the good job, got %+v", re)
+	}
+	if warnings == 0 {
+		t.Fatal("broken journals skipped silently")
+	}
+}
+
+// TestJournalReopenAppend: the resume path appends to an existing log and
+// replay sees old and new rows.
+func TestJournalReopenAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, _ := j.Create("job1", testSpec())
+	log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowOK})
+	log.Close()
+
+	log2, err := j.Reopen("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.AppendRow(RowRecord{Index: 1, Key: "k1", Status: RowOK}); err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+
+	re, _ := j.Replay()
+	if len(re) != 1 || len(re[0].Rows) != 2 {
+		t.Fatalf("reopen-append lost rows: %+v", re)
+	}
+	if err := log2.AppendRow(RowRecord{Index: 2, Key: "k2", Status: RowOK}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestJournalRejectsNonTerminal(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenJournal(dir)
+	log, _ := j.Create("job1", testSpec())
+	defer log.Close()
+	if err := log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowRunning}); err == nil {
+		t.Fatal("journaled a non-terminal status")
+	}
+}

@@ -335,7 +335,7 @@ func TestDrainZeroDropped(t *testing.T) {
 		t.Fatalf("want OK=%d DrainRejected=1, got %+v", inflight, st)
 	}
 	if sum := st.OK + st.Invalid + st.RateLimited + st.QueueFull + st.DrainRejected +
-		st.DeadlineExpired + st.Internal; sum != st.Received {
+		st.DeadlineExpired + st.TooLarge + st.Internal; sum != st.Received {
 		t.Fatalf("outcome counters (%d) must account for every received request (%d): %+v",
 			sum, st.Received, st)
 	}

@@ -20,6 +20,20 @@
 //   - graceful drain: Drain stops admission (typed 503s), in-flight requests
 //     finish, Close flushes the final stats.
 //
+// On top of /simulate sits the durable batch surface (package jobs):
+// POST /batch expands a sweep spec into row-level work items fanned over the
+// same worker fleet and streams completed rows back as NDJSON; GET /batch/{id}
+// reports per-row status and GET /batch/{id}/grid re-serves the terminal rows.
+// With a journal directory configured, the spec and every row completion are
+// fsync'd to an append-only log: a restarted server resumes unfinished jobs,
+// serves journaled rows without recomputing them, and — because row keys and
+// expansion order are canonical — produces a final grid byte-identical to an
+// uninterrupted run. A per-row-key circuit breaker quarantines configurations
+// that panic across QuarantineAfter distinct engines (typed row_quarantined),
+// so one poisoned cell cannot sink the rest of its job. Drain extends to
+// batches: dispatched rows finish and are journaled, undispatched rows are
+// checkpointed as unstarted, zero rows lost.
+//
 // The FaultInjector hook injects delayed, panicking and stuck attempts so
 // the chaos suite can prove all of the above under a request storm.
 package serve
@@ -27,6 +41,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -35,6 +50,7 @@ import (
 	"time"
 
 	"rwsfs/internal/harness"
+	"rwsfs/internal/serve/jobs"
 )
 
 // Config tunes the daemon; zero values take the documented defaults.
@@ -71,6 +87,26 @@ type Config struct {
 	DrainGrace time.Duration
 	// Limits bound what a single request may ask for.
 	Limits Limits
+	// MaxBodyBytes bounds request bodies (/simulate and /batch alike); an
+	// oversized body is rejected with a typed 413 instead of being decoded
+	// unboundedly (default 1 MiB).
+	MaxBodyBytes int64
+	// JournalDir, when non-empty, enables the durable batch-job journal:
+	// every batch spec and row completion is fsync'd there, and a restarted
+	// server resumes unfinished jobs from it. Empty disables durability
+	// (batch jobs still work, but die with the process).
+	JournalDir string
+	// QuarantineAfter is the per-row-key circuit breaker threshold: a
+	// configuration that panics on this many distinct engines is answered
+	// with a typed row_quarantined instead of burning more retry budget
+	// (default 3; negative disables the breaker).
+	QuarantineAfter int
+	// MaxBatchRows bounds how many rows one batch spec may expand to
+	// (default 4096).
+	MaxBatchRows int
+	// BatchParallel bounds how many rows of one batch job are in flight at
+	// once (default: Workers).
+	BatchParallel int
 	// Injector, when non-nil, injects faults into worker attempts (chaos
 	// testing only).
 	Injector FaultInjector
@@ -103,6 +139,21 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 30 * time.Second
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	switch {
+	case c.QuarantineAfter == 0:
+		c.QuarantineAfter = 3
+	case c.QuarantineAfter < 0:
+		c.QuarantineAfter = 0 // breaker disabled
+	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 4096
+	}
+	if c.BatchParallel <= 0 {
+		c.BatchParallel = c.Workers
+	}
 	c.Limits = c.Limits.withDefaults()
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -110,10 +161,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a snapshot of the daemon's counters; every received request ends
-// in exactly one of the outcome counters (OK, Invalid, RateLimited,
-// QueueFull, DrainRejected, DeadlineExpired, Internal), which is how the
-// chaos suite proves no request is ever lost.
+// Stats is a snapshot of the daemon's counters; every received /simulate
+// request ends in exactly one of the outcome counters (OK, Invalid,
+// RateLimited, QueueFull, DrainRejected, DeadlineExpired, TooLarge,
+// Internal), which is how the chaos suite proves no request is ever lost.
+// The batch counters account for the /batch surface separately: BatchRows
+// counts rows brought to a terminal state by this process (journal-replayed
+// rows are not recomputed and not recounted).
 type Stats struct {
 	Received        int64 `json:"received"`
 	OK              int64 `json:"ok"`
@@ -122,6 +176,7 @@ type Stats struct {
 	QueueFull       int64 `json:"queue_full"`
 	DrainRejected   int64 `json:"drain_rejected"`
 	DeadlineExpired int64 `json:"deadline_expired"`
+	TooLarge        int64 `json:"body_too_large"`
 	Internal        int64 `json:"internal"`
 
 	CacheHits   int64 `json:"cache_hits"`
@@ -132,6 +187,10 @@ type Stats struct {
 	Hedges      int64 `json:"hedges"`
 	HedgeWins   int64 `json:"hedge_wins"`
 	Quarantined int64 `json:"quarantined"`
+
+	BatchJobs       int64 `json:"batch_jobs"`
+	BatchRows       int64 `json:"batch_rows"`
+	RowsQuarantined int64 `json:"rows_quarantined"`
 }
 
 // add bumps one counter; all counter access is atomic.
@@ -144,11 +203,14 @@ func (st *Stats) snapshot() Stats {
 		{&out.Received, &st.Received}, {&out.OK, &st.OK}, {&out.Invalid, &st.Invalid},
 		{&out.RateLimited, &st.RateLimited}, {&out.QueueFull, &st.QueueFull},
 		{&out.DrainRejected, &st.DrainRejected}, {&out.DeadlineExpired, &st.DeadlineExpired},
+		{&out.TooLarge, &st.TooLarge},
 		{&out.Internal, &st.Internal}, {&out.CacheHits, &st.CacheHits},
 		{&out.Dedups, &st.Dedups}, {&out.Simulations, &st.Simulations},
 		{&out.Panics, &st.Panics}, {&out.Retries, &st.Retries},
 		{&out.Hedges, &st.Hedges}, {&out.HedgeWins, &st.HedgeWins},
 		{&out.Quarantined, &st.Quarantined},
+		{&out.BatchJobs, &st.BatchJobs}, {&out.BatchRows, &st.BatchRows},
+		{&out.RowsQuarantined, &st.RowsQuarantined},
 	} {
 		*c.dst = atomic.LoadInt64(c.src)
 	}
@@ -160,13 +222,24 @@ func (st *Stats) snapshot() Stats {
 // Drain (stop admitting) followed by Close (wait for in-flight work, stop
 // workers, flush stats).
 type Server struct {
-	cfg    Config
-	mux    *http.ServeMux
-	queue  chan *job
-	bucket *tokenBucket
-	cache  *resultCache
-	flight *flightGroup
-	stats  Stats
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	bucket  *tokenBucket
+	cache   *resultCache
+	flight  *flightGroup
+	breaker *jobs.Breaker
+	stats   Stats
+
+	start    time.Time
+	inFlight atomic.Int64
+
+	// journal, when non-nil, is the durable batch-job log; batches indexes
+	// every known job (live, finished, and journal-replayed) by id.
+	journal    *jobs.Journal
+	batchMu    sync.Mutex
+	batches    map[string]*batchEntry
+	batchOrder []string
 
 	// baseCtx outlives any single request: shared computations run under it
 	// (plus the request deadline) so one client disconnecting cannot kill a
@@ -182,27 +255,46 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New builds the daemon and starts its workers.
+// New builds the daemon, starts its workers, and — when JournalDir is set —
+// replays the batch-job journal, resuming any job that a previous process
+// left unfinished.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		queue:  make(chan *job, cfg.QueueDepth),
-		bucket: newTokenBucket(cfg.Rate, cfg.Burst, cfg.now),
-		cache:  newResultCache(cfg.CacheEntries),
-		flight: newFlightGroup(),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		bucket:  newTokenBucket(cfg.Rate, cfg.Burst, cfg.now),
+		cache:   newResultCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		breaker: jobs.NewBreaker(cfg.QuarantineAfter),
+		batches: make(map[string]*batchEntry),
+		start:   time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /batch", s.handleBatchSubmit)
+	s.mux.HandleFunc("GET /batch", s.handleBatchList)
+	s.mux.HandleFunc("GET /batch/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("GET /batch/{id}/grid", s.handleBatchGrid)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	if cfg.JournalDir != "" {
+		jr, err := jobs.OpenJournal(cfg.JournalDir)
+		if err != nil {
+			cfg.Logf("serve: batch journal DISABLED (jobs will not survive restarts): %v", err)
+		} else {
+			jr.Logf = cfg.Logf
+			s.journal = jr
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{id: i, s: s}
 		s.workerWG.Add(1)
 		go w.loop()
 	}
+	s.resumeJournaledJobs()
 	return s
 }
 
@@ -262,7 +354,8 @@ func (s *Server) Stats() Stats { return s.stats.snapshot() }
 
 // admitHandler registers an in-flight handler unless the server is
 // draining. The registration happens under the drain lock, so Close's
-// handlerWG.Wait cannot miss a handler that slipped past the check.
+// handlerWG.Wait cannot miss a handler that slipped past the check. Every
+// successful admit must be paired with exitHandler.
 func (s *Server) admitHandler() bool {
 	s.drainMu.RLock()
 	defer s.drainMu.RUnlock()
@@ -270,7 +363,31 @@ func (s *Server) admitHandler() bool {
 		return false
 	}
 	s.handlerWG.Add(1)
+	s.inFlight.Add(1)
 	return true
+}
+
+// exitHandler releases an admitHandler registration.
+func (s *Server) exitHandler() {
+	s.inFlight.Add(-1)
+	s.handlerWG.Done()
+}
+
+// decodeBody decodes a bounded JSON request body into v: bodies over
+// MaxBodyBytes are rejected with a typed 413 instead of being decoded
+// unboundedly, everything else malformed with a typed 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errTooLarge(s.cfg.MaxBodyBytes)
+		}
+		return errInvalid(fmt.Sprintf("bad request body: %v", err))
+	}
+	return nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -279,14 +396,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeReject(w, errDraining())
 		return
 	}
-	defer s.handlerWG.Done()
+	defer s.exitHandler()
 	start := time.Now()
 
 	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.writeReject(w, errInvalid(fmt.Sprintf("bad request body: %v", err)))
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeReject(w, apiErr)
 		return
 	}
 	req.normalize()
@@ -442,7 +557,12 @@ func (s *Server) writeReject(w http.ResponseWriter, e *apiError) {
 		s.stats.add(&s.stats.DrainRejected, 1)
 	case codeDeadline:
 		s.stats.add(&s.stats.DeadlineExpired, 1)
+	case codeTooLarge:
+		s.stats.add(&s.stats.TooLarge, 1)
 	default:
+		// codeInternal and codeQuarantined both land in Internal: the ledger
+		// cares that the request ended in exactly one 500-class outcome, the
+		// typed body carries the distinction.
 		s.stats.add(&s.stats.Internal, 1)
 	}
 	writeJSON(w, e.Status, errorBody{Error: *e})
@@ -456,8 +576,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// statzBody is the stable /statz schema: service identity, uptime, the
+// live in-flight gauge and drain state, plus the counters nested under
+// their own key. The serve tests pin the key set — removing or renaming a
+// field is a breaking change to monitoring, so it fails a test first.
+type statzBody struct {
+	Service  string `json:"service"`
+	UptimeMS int64  `json:"uptime_ms"`
+	InFlight int64  `json:"in_flight"`
+	Draining bool   `json:"draining"`
+	Counters Stats  `json:"counters"`
+}
+
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	writeJSON(w, http.StatusOK, statzBody{
+		Service:  "rwsimd",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		InFlight: s.inFlight.Load(),
+		Draining: s.Draining(),
+		Counters: s.Stats(),
+	})
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

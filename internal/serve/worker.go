@@ -74,10 +74,18 @@ func (j *job) deliver(r jobResult) {
 }
 
 // process runs one job with retry-with-backoff around panicking attempts.
+// The per-key circuit breaker short-circuits both sides of the retry loop:
+// a key that already panicked on QuarantineAfter distinct engines (here or
+// on any other worker, this process lifetime) is answered with a typed
+// row_quarantined instead of burning attempts poisoning more engines.
 func (w *worker) process(j *job) {
 	max := w.s.cfg.MaxAttempts
 	var reject *apiError
 	for a := 0; a < max; a++ {
+		if w.s.breaker.Tripped(j.key) {
+			reject = errQuarantined(w.s.breaker.Panics(j.key))
+			break
+		}
 		if a > 0 {
 			w.s.stats.add(&w.s.stats.Retries, 1)
 			if !sleepCtx(j.ctx, w.s.cfg.RetryBackoff<<uint(a-1)) {
@@ -91,6 +99,12 @@ func (w *worker) process(j *job) {
 			return
 		}
 		if errors.Is(err, errRunPanicked) {
+			// Every panicking attempt poisoned (and quarantined) one distinct
+			// engine; the breaker counts them across workers and retries.
+			if w.s.breaker.Record(j.key) {
+				reject = errQuarantined(w.s.breaker.Panics(j.key))
+				break
+			}
 			reject = errInternal(fmt.Sprintf("simulation panicked %d time(s): %v", a+1, err))
 			continue // retry on a replacement engine
 		}
