@@ -17,7 +17,9 @@
 // With -journal-dir set, every batch spec and row completion is fsync'd to an
 // append-only NDJSON journal; a restarted daemon replays it, serves finished
 // rows without recomputing them, and resumes the unfinished remainder — the
-// final grid is byte-identical to an uninterrupted run.
+// final grid is byte-identical to an uninterrupted run. -max-batch-jobs caps
+// how many completed jobs stay in memory and on the journal: past the cap the
+// oldest completed jobs are evicted and their journal files deleted.
 //
 // A SIGTERM or SIGINT triggers graceful drain: admission stops with typed
 // 503s, in-flight requests and dispatched batch rows run to completion
@@ -68,6 +70,7 @@ func main() {
 		journalDir    = flag.String("journal-dir", "", "durable batch-job journal directory (empty = batch jobs die with the process)")
 		quarAfter     = flag.Int("quarantine-after", 3, "circuit-break a request key after it panics on this many distinct engines (-1 = off)")
 		maxBatchRows  = flag.Int("max-batch-rows", 4096, "largest row grid one batch spec may expand to")
+		maxBatchJobs  = flag.Int("max-batch-jobs", 64, "completed batch jobs retained in memory and on the journal (-1 = unbounded)")
 		batchParallel = flag.Int("batch-parallel", 0, "batch rows in flight at once per job (0 = workers)")
 
 		injPanic = flag.Int("inject-panic-every", 0, "chaos: panic the first attempt of every Nth request key (0 = off)")
@@ -93,6 +96,7 @@ func main() {
 		JournalDir:      *journalDir,
 		QuarantineAfter: *quarAfter,
 		MaxBatchRows:    *maxBatchRows,
+		MaxBatchJobs:    *maxBatchJobs,
 		BatchParallel:   *batchParallel,
 		Injector:        buildInjector(*injPanic, *injStall, *injDelay, *injDelayBy),
 		Logf:            log.Printf,

@@ -83,12 +83,50 @@ func rowKeys(rows []Request) []string {
 	return keys
 }
 
-// registerBatch indexes a job under its id.
+// registerBatch indexes a job under its id and applies retention: if the
+// index now exceeds MaxBatchJobs, the oldest completed jobs are evicted and
+// their journal files removed, so a long-lived daemon's memory and journal
+// directory are bounded by the cap plus whatever is still unfinished
+// (unfinished jobs are never evicted — they are the resume surface).
 func (s *Server) registerBatch(e *batchEntry) {
 	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
 	s.batches[e.job.ID] = e
 	s.batchOrder = append(s.batchOrder, e.job.ID)
+	evicted := s.evictBatchesLocked()
+	s.batchMu.Unlock()
+	for _, id := range evicted {
+		if s.journal != nil {
+			if err := s.journal.Remove(id); err != nil {
+				s.cfg.Logf("serve: batch %s: evicted but journal removal failed: %v", id, err)
+			}
+		}
+		s.cfg.Logf("serve: batch %s evicted (retention cap %d)", id, s.cfg.MaxBatchJobs)
+	}
+}
+
+// evictBatchesLocked trims the job index to MaxBatchJobs, dropping the
+// oldest done jobs first, and returns the evicted ids (whose journal files
+// the caller deletes outside the lock). Jobs still running or interrupted
+// are kept regardless of the cap.
+func (s *Server) evictBatchesLocked() []string {
+	limit := s.cfg.MaxBatchJobs
+	if limit <= 0 || len(s.batchOrder) <= limit {
+		return nil
+	}
+	excess := len(s.batchOrder) - limit
+	var evicted []string
+	kept := s.batchOrder[:0]
+	for _, id := range s.batchOrder {
+		if e := s.batches[id]; excess > 0 && e != nil && e.job.Done() {
+			delete(s.batches, id)
+			evicted = append(evicted, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.batchOrder = kept
+	return evicted
 }
 
 func (s *Server) batch(id string) (*batchEntry, bool) {
@@ -353,6 +391,14 @@ func (s *Server) runRow(e *batchEntry, i int) {
 		e.job.Revert(i)
 		return
 	}
+	if reject != nil && (reject.Code == codeRateLimited || reject.Code == codeQueueFull) {
+		// Admission rejections are transient serving artifacts, never a row's
+		// result. computeRow only surfaces them when the server is stopping,
+		// so checkpoint the row back to unstarted — no journal record, and a
+		// resumed job recomputes it instead of serving a spurious failure.
+		e.job.Revert(i)
+		return
+	}
 
 	rec := jobs.RowRecord{Type: "row", Index: i, Key: key}
 	switch {
@@ -386,11 +432,16 @@ func (s *Server) runRow(e *batchEntry, i int) {
 // same single-flight group and result cache, but rows block on the work
 // queue instead of shedding (the batch was admitted as a whole) and spend
 // no admission tokens. A follower that inherits a /simulate leader's
-// admission rejection (rate_limited, queue_full) retries the flight — for
-// a batch row those outcomes are transient serving artifacts, not results.
+// rejection — admission (rate_limited, queue_full) or the leader's own
+// client-chosen deadline — retries the flight, becoming leader under the
+// row's own context: those outcomes describe the leader's request, never
+// this row. The loop exits on the row's own deadline or on server stop;
+// only in the latter case can a transient rejection escape, and runRow
+// checkpoints the row rather than journaling it.
 func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*payload, *apiError) {
 	var lastReject *apiError
-	for tries := 0; tries < 8; tries++ {
+	backoff := time.Millisecond
+	for {
 		c, leader := s.flight.join(key)
 		if leader {
 			p, reject := s.computeRowLeader(ctx, req, key)
@@ -403,15 +454,27 @@ func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*pay
 			if c.reject == nil {
 				return c.p, nil
 			}
-			if c.reject.Code != codeRateLimited && c.reject.Code != codeQueueFull {
+			switch c.reject.Code {
+			case codeRateLimited, codeQueueFull, codeDeadline:
+				lastReject = c.reject
+			default:
 				return nil, c.reject
 			}
-			lastReject = c.reject
 		case <-ctx.Done():
 			return nil, errDeadline()
 		}
+		if s.stopDispatch() {
+			return nil, lastReject
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, errDeadline()
+		}
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
 	}
-	return nil, lastReject
 }
 
 func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string) (*payload, *apiError) {

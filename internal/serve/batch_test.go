@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -483,6 +486,153 @@ func TestBatchRowQuarantine(t *testing.T) {
 	}
 	if st := b.Stats(); st.Simulations != 0 {
 		t.Fatalf("restart must serve every row from the journal: %+v", st)
+	}
+}
+
+// TestBatchSpecOverflowRejected pins the row-count overflow guard end to
+// end: a spec whose dimension lists multiply past an int must be rejected
+// by the MaxBatchRows bound without materializing any of the cross product.
+func TestBatchSpecOverflowRejected(t *testing.T) {
+	dim := 1 << 13 // 8192^5 = 2^65: wraps an int64 product, saturates RowCount
+	spec := &jobs.Spec{
+		Algs: []string{"prefix"},
+		Ns:   make([]int, dim), Ps: make([]int, dim),
+		Seeds: make([]int64, dim), Sockets: make([]int, dim),
+		Policies: make([]string, dim),
+	}
+	start := time.Now()
+	if _, err := expandRows(spec, Limits{}.withDefaults(), 4096); err == nil {
+		t.Fatal("overflowing spec must be rejected by the row bound")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rejection took %s — the grid was materialized", elapsed)
+	}
+}
+
+// TestBatchRowRetriesInheritedDeadline pins that a batch row joining a
+// flight led by a /simulate request does not inherit that leader's deadline
+// as its own terminal outcome: the leader's (possibly tiny, client-chosen)
+// deadline describes the leader's request, so the row must retry the flight
+// and compute under its own context.
+func TestBatchRowRetriesInheritedDeadline(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	req := Request{Alg: "prefix", N: 64, P: 4, Seed: 7}
+	req.normalize()
+	key := req.Key()
+
+	// Occupy the flight, standing in for a /simulate leader.
+	c, leader := s.flight.join(key)
+	if !leader {
+		t.Fatal("test flight already occupied")
+	}
+	type outcome struct {
+		p      *payload
+		reject *apiError
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		p, reject := s.computeRow(ctx, &req, key)
+		done <- outcome{p, reject}
+	}()
+	// The row must join as a follower (the key is held until finish), so
+	// wait for the dedup, then hand it the leader's deadline rejection.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Dedups == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.flight.finish(key, c, nil, errDeadline())
+	got := <-done
+	if got.reject != nil {
+		t.Fatalf("row inherited the leader's deadline as a terminal outcome: %+v", got.reject)
+	}
+	if got.p == nil || len(got.p.Runs) == 0 {
+		t.Fatalf("row did not recompute after the inherited deadline: %+v", got.p)
+	}
+}
+
+// TestBatchTransientRejectCheckpointsRow pins that a transient admission
+// rejection escaping computeRow (only possible when the server is stopping)
+// checkpoints the row back to unstarted — no journal record, no terminal
+// RowFailed — so a resumed job recomputes it instead of serving a serving
+// artifact as a permanent result.
+func TestBatchTransientRejectCheckpointsRow(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	spec := jobs.Spec{Algs: []string{"prefix"}, Ns: []int{64}, Ps: []int{4}, Seeds: []int64{42}}
+	rows, err := expandRows(&spec, s.cfg.Limits, s.cfg.MaxBatchRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs.NewJob("ckpt", spec, rowKeys(rows))
+	e := &batchEntry{job: job, rows: rows}
+	key := job.Key(0)
+	c, leader := s.flight.join(key)
+	if !leader {
+		t.Fatal("test flight already occupied")
+	}
+	if !job.Start(0) {
+		t.Fatal("row did not start")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.runRow(e, 0)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Dedups == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain() // stopping: the transient outcome escapes instead of retrying
+	s.flight.finish(key, c, nil, errRateLimited())
+	<-done
+	if st := job.StatusOf(0); st != jobs.RowUnstarted {
+		t.Fatalf("transient rejection must checkpoint the row to unstarted, got %q", st)
+	}
+	if n := s.Stats().BatchRows; n != 0 {
+		t.Fatalf("checkpointed row must not count as terminal: BatchRows=%d", n)
+	}
+}
+
+// TestBatchRetentionEvictsCompletedJobs pins the retention cap: once the
+// index exceeds MaxBatchJobs, the oldest completed job is evicted (404 from
+// then on) and its journal file deleted, while newer jobs and their
+// journals survive.
+func TestBatchRetentionEvictsCompletedJobs(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 2, JournalDir: dir, MaxBatchJobs: 2})
+	defer s.Close()
+	ids := make([]string, 0, 3)
+	for seed := 1; seed <= 3; seed++ {
+		sp := parseStream(t, postBatch(s, fmt.Sprintf(
+			`{"algs":["prefix"],"ns":[64],"ps":[4],"seeds":[%d]}`, seed)).Body.Bytes())
+		if sp.trailer.Status != "done" {
+			t.Fatalf("job %d did not finish: %+v", seed, sp.trailer)
+		}
+		ids = append(ids, sp.header.Job)
+	}
+	if rr := get(s, "/batch/"+ids[0]); rr.Code != http.StatusNotFound {
+		t.Fatalf("oldest completed job must be evicted: want 404, got %d", rr.Code)
+	}
+	for _, id := range ids[1:] {
+		if rr := get(s, "/batch/"+id); rr.Code != http.StatusOK {
+			t.Fatalf("job %s wrongly evicted: got %d", id, rr.Code)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+".ndjson")); err != nil {
+			t.Fatalf("retained job %s journal missing: %v", id, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0]+".ndjson")); !os.IsNotExist(err) {
+		t.Fatalf("evicted job's journal file must be removed, stat err: %v", err)
+	}
+	var listing map[string][]struct {
+		Job string `json:"job"`
+	}
+	if err := json.Unmarshal(get(s, "/batch").Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing["jobs"]) != 2 {
+		t.Fatalf("want 2 retained jobs, got %+v", listing)
 	}
 }
 

@@ -2,9 +2,33 @@ package jobs
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 )
+
+// TestSpecRowCountSaturatesOnOverflow pins the overflow guard: six
+// user-controlled dimension lists whose product exceeds an int (here 2^90
+// from a sub-megabyte body) must saturate RowCount at MaxInt so every
+// caller-side bound rejects the grid, instead of wrapping to a small or
+// negative count that sails past the check and materializes the cross
+// product.
+func TestSpecRowCountSaturatesOnOverflow(t *testing.T) {
+	dim := 1 << 15
+	s := Spec{
+		Algs: make([]string, dim), Ns: make([]int, dim), Ps: make([]int, dim),
+		Seeds: make([]int64, dim), Policies: make([]string, dim), Sockets: make([]int, dim),
+	}
+	s.Normalize()
+	if got := s.RowCount(); got != math.MaxInt {
+		t.Fatalf("overflowing grid: want MaxInt, got %d", got)
+	}
+	small := Spec{Algs: []string{"a", "b"}, Ns: []int{1, 2, 3}, Ps: []int{1}, Seeds: []int64{1, 2}}
+	small.Normalize()
+	if got := small.RowCount(); got != 12 {
+		t.Fatalf("small grid: want 12, got %d", got)
+	}
+}
 
 func TestSpecNormalizeAndCount(t *testing.T) {
 	s := Spec{Algs: []string{"prefix"}, Ns: []int{64}, Ps: []int{2, 4}, Seeds: []int64{1, 2, 3}}

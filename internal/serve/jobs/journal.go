@@ -130,6 +130,16 @@ func (j *Journal) Create(id string, spec *Spec) (*JobLog, error) {
 	return l, nil
 }
 
+// Remove deletes job id's journal file — the retention path for a completed
+// job evicted from the serving layer's index. Removing a file that is
+// already gone is not an error.
+func (j *Journal) Remove(id string) error {
+	if err := os.Remove(j.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("jobs: remove journal: %w", err)
+	}
+	return nil
+}
+
 // Reopen opens an existing job's log for appending (resume path).
 func (j *Journal) Reopen(id string) (*JobLog, error) {
 	f, err := os.OpenFile(j.path(id), os.O_WRONLY|os.O_APPEND, 0o644)

@@ -13,6 +13,7 @@ package jobs
 
 import (
 	"fmt"
+	"math"
 )
 
 // Spec is one batch sweep: the cross product of the listed dimensions,
@@ -100,8 +101,25 @@ func (s *Spec) Validate() error {
 
 // RowCount returns the number of rows the spec expands to, without
 // materializing them — callers bound grids before paying for the expansion.
+// The six dimension lengths are user-controlled and their product can exceed
+// an int (six lists of 32768 entries fit in a small body but multiply to
+// 2^90), so the multiplication is overflow-checked and saturates at MaxInt:
+// any bound a caller enforces rejects the grid instead of being wrapped past.
 func (s *Spec) RowCount() int {
-	return len(s.Algs) * len(s.Ns) * len(s.Ps) * len(s.Policies) * len(s.Sockets) * len(s.Seeds)
+	n := 1
+	for _, dim := range [...]int{
+		len(s.Algs), len(s.Ns), len(s.Ps),
+		len(s.Policies), len(s.Sockets), len(s.Seeds),
+	} {
+		if dim == 0 {
+			return 0
+		}
+		if n > math.MaxInt/dim {
+			return math.MaxInt
+		}
+		n *= dim
+	}
+	return n
 }
 
 // Expand materializes the grid in the fixed order documented on Spec.

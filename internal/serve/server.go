@@ -32,7 +32,9 @@
 // that panic across QuarantineAfter distinct engines (typed row_quarantined),
 // so one poisoned cell cannot sink the rest of its job. Drain extends to
 // batches: dispatched rows finish and are journaled, undispatched rows are
-// checkpointed as unstarted, zero rows lost.
+// checkpointed as unstarted, zero rows lost. Retention keeps a long-lived
+// daemon bounded: past MaxBatchJobs, the oldest completed jobs are evicted
+// from the index and their journal files deleted (unfinished jobs never are).
 //
 // The FaultInjector hook injects delayed, panicking and stuck attempts so
 // the chaos suite can prove all of the above under a request storm.
@@ -104,6 +106,12 @@ type Config struct {
 	// MaxBatchRows bounds how many rows one batch spec may expand to
 	// (default 4096).
 	MaxBatchRows int
+	// MaxBatchJobs bounds the in-memory batch-job index: when a new job
+	// pushes the index past the cap, the oldest completed jobs are evicted
+	// and their journal files deleted (their grids were fully served and
+	// hold no resume value). Unfinished jobs are never evicted. Default 64;
+	// negative disables retention (the index and journal grow without bound).
+	MaxBatchJobs int
 	// BatchParallel bounds how many rows of one batch job are in flight at
 	// once (default: Workers).
 	BatchParallel int
@@ -150,6 +158,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchRows <= 0 {
 		c.MaxBatchRows = 4096
+	}
+	switch {
+	case c.MaxBatchJobs == 0:
+		c.MaxBatchJobs = 64
+	case c.MaxBatchJobs < 0:
+		c.MaxBatchJobs = 0 // retention disabled
 	}
 	if c.BatchParallel <= 0 {
 		c.BatchParallel = c.Workers
