@@ -10,9 +10,16 @@
 //	GET  /batch            known batch jobs
 //	GET  /batch/{id}       per-row status of one batch job
 //	GET  /batch/{id}/grid  the job's terminal rows (NDJSON, byte-stable across restarts)
+//	GET  /tracez           ring buffer of the last -trace-buffer completed attempt timelines
 //	GET  /healthz          liveness — 503 once draining so balancers stop routing here
 //	GET  /statz            stable JSON snapshot: uptime, in-flight gauge, counters
 //	GET  /workloads        registered workload names
+//
+// Any /simulate request may set "trace": true to get its attempt timeline —
+// queued, dispatched, per-attempt panics and backoffs, hedges, cache/dedup
+// resolution, typed outcome — attached to the response envelope (the result
+// payload bytes are unchanged). GET /batch/{id} reports each row's attempt
+// count and result source (fresh, cache, dedup, journal) the same way.
 //
 // With -journal-dir set, every batch spec and row completion is fsync'd to an
 // append-only NDJSON journal; a restarted daemon replays it, serves finished
@@ -72,6 +79,7 @@ func main() {
 		maxBatchRows  = flag.Int("max-batch-rows", 4096, "largest row grid one batch spec may expand to")
 		maxBatchJobs  = flag.Int("max-batch-jobs", 64, "completed batch jobs retained in memory and on the journal (-1 = unbounded)")
 		batchParallel = flag.Int("batch-parallel", 0, "batch rows in flight at once per job (0 = workers)")
+		traceBuffer   = flag.Int("trace-buffer", 256, "completed attempt timelines retained for GET /tracez (-1 disables the ring)")
 
 		injPanic = flag.Int("inject-panic-every", 0, "chaos: panic the first attempt of every Nth request key (0 = off)")
 		injStall = flag.Int("inject-stall-every", 0, "chaos: stall the first attempt of every Nth request key (0 = off)")
@@ -98,6 +106,7 @@ func main() {
 		MaxBatchRows:    *maxBatchRows,
 		MaxBatchJobs:    *maxBatchJobs,
 		BatchParallel:   *batchParallel,
+		TraceBuffer:     *traceBuffer,
 		Injector:        buildInjector(*injPanic, *injStall, *injDelay, *injDelayBy),
 		Logf:            log.Printf,
 	}

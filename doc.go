@@ -158,7 +158,13 @@
 //     because both attempts return identical bytes;
 //   - SIGTERM/SIGINT drains gracefully: admission stops with typed 503s,
 //     in-flight requests complete (bounded by -drain-grace), final stats
-//     flush to the log.
+//     flush to the log;
+//   - every request's life is traceable: "trace": true attaches an attempt
+//     timeline (queued → dispatched → attempts/panics/backoffs → hedged →
+//     cache/dedup resolution → typed outcome) to the response envelope
+//     without touching the cached payload bytes, GET /tracez retains the
+//     last -trace-buffer completed timelines, and GET /batch/{id} rows
+//     report attempts and result source (fresh/cache/dedup/journal).
 //
 // The serve.FaultInjector hook (wired to the -inject-panic-every /
 // -inject-stall-every / -inject-delay-every flags) deterministically

@@ -19,6 +19,53 @@ type batchEntry struct {
 	job  *jobs.Job
 	rows []Request // index-aligned with the job's rows
 	log  *jobs.JobLog
+
+	// meta is per-row serving provenance (attempt counts, result source),
+	// index-aligned with rows and surfaced on GET /batch/{id}. It is
+	// serving-side bookkeeping only: never journaled, never part of the
+	// grid bytes.
+	metaMu sync.Mutex
+	meta   []rowMeta
+}
+
+// rowMeta records how one row's bytes were obtained: how many worker
+// attempts it took, and whether the result came from a fresh computation,
+// the result cache, a deduped in-flight leader, or a journal replay.
+type rowMeta struct {
+	Attempts int    `json:"attempts"`
+	Source   string `json:"source,omitempty"`
+}
+
+// Row result provenance values.
+const (
+	sourceFresh   = "fresh"   // computed by this process's worker fleet
+	sourceCache   = "cache"   // served from the LRU result cache
+	sourceDedup   = "dedup"   // shared an in-flight leader's computation
+	sourceJournal = "journal" // replayed from the batch journal at startup
+)
+
+// setMeta records one row's provenance; the slice is allocated lazily so
+// batchEntry literals (tests construct them directly) need no constructor.
+func (e *batchEntry) setMeta(i int, m rowMeta) {
+	e.metaMu.Lock()
+	defer e.metaMu.Unlock()
+	if e.meta == nil {
+		e.meta = make([]rowMeta, len(e.rows))
+	}
+	if i >= 0 && i < len(e.meta) {
+		e.meta[i] = m
+	}
+}
+
+// metaOf returns one row's provenance (zero value while the row is still
+// unstarted or running).
+func (e *batchEntry) metaOf(i int) rowMeta {
+	e.metaMu.Lock()
+	defer e.metaMu.Unlock()
+	if i < 0 || i >= len(e.meta) {
+		return rowMeta{}
+	}
+	return e.meta[i]
 }
 
 // newJobID returns a fresh random job id (16 hex chars).
@@ -160,6 +207,15 @@ func (s *Server) resumeJournaledJobs() {
 		job := jobs.NewJob(rj.ID, spec, rowKeys(rows))
 		applied := job.ApplyReplayed(rj.Rows)
 		e := &batchEntry{job: job, rows: rows}
+		for i := range rows {
+			if job.StatusOf(i).Terminal() {
+				e.setMeta(i, rowMeta{Source: sourceJournal})
+			}
+		}
+		rtr := s.tracer.start(kindBatchResume)
+		rtr.setKey(rj.ID)
+		rtr.event(evJournalReplay, fmt.Sprintf("%d/%d rows from journal", applied, job.Rows()))
+		s.tracer.push(rtr.finish("resumed"))
 		if job.Done() {
 			s.registerBatch(e)
 			s.cfg.Logf("serve: journal job %s complete (%d rows, all from journal)", rj.ID, job.Rows())
@@ -375,6 +431,9 @@ func (s *Server) stopDispatch() bool {
 func (s *Server) runRow(e *batchEntry, i int) {
 	req := &e.rows[i]
 	key := e.job.Key(i)
+	tr := s.tracer.start(kindBatchRow)
+	tr.setKey(key)
+	var meta rowMeta
 	ctx := s.baseCtx
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline <= 0 {
@@ -386,9 +445,10 @@ func (s *Server) runRow(e *batchEntry, i int) {
 		defer cancel()
 	}
 
-	p, reject := s.computeRow(ctx, req, key)
-	if reject != nil && reject.Code == codeDeadline && s.stopDispatch() {
+	p, reject := s.computeRow(ctx, req, key, tr, &meta)
+	if reject != nil && (reject.Code == codeDeadline || reject.Code == codeDraining) && s.stopDispatch() {
 		e.job.Revert(i)
+		s.tracer.push(tr.finish("reverted"))
 		return
 	}
 	if reject != nil && (reject.Code == codeRateLimited || reject.Code == codeQueueFull) {
@@ -397,6 +457,7 @@ func (s *Server) runRow(e *batchEntry, i int) {
 		// so checkpoint the row back to unstarted — no journal record, and a
 		// resumed job recomputes it instead of serving a spurious failure.
 		e.job.Revert(i)
+		s.tracer.push(tr.finish("reverted"))
 		return
 	}
 
@@ -425,6 +486,8 @@ func (s *Server) runRow(e *batchEntry, i int) {
 		}
 	}
 	s.stats.add(&s.stats.BatchRows, 1)
+	e.setMeta(i, meta)
+	s.tracer.push(tr.finish(string(rec.Status)))
 	e.job.Finish(rec)
 }
 
@@ -438,30 +501,35 @@ func (s *Server) runRow(e *batchEntry, i int) {
 // this row. The loop exits on the row's own deadline or on server stop;
 // only in the latter case can a transient rejection escape, and runRow
 // checkpoints the row rather than journaling it.
-func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+func (s *Server) computeRow(ctx context.Context, req *Request, key string, tr *trace, meta *rowMeta) (*payload, *apiError) {
+	if meta == nil {
+		meta = &rowMeta{}
+	}
 	var lastReject *apiError
 	backoff := time.Millisecond
 	for {
 		c, leader := s.flight.join(key)
 		if leader {
-			p, reject := s.computeRowLeader(ctx, req, key)
+			p, reject := s.computeRowLeader(ctx, req, key, tr, meta)
 			s.flight.finish(key, c, p, reject)
 			return p, reject
 		}
 		s.stats.add(&s.stats.Dedups, 1)
+		tr.event(evDedupFollower, "awaiting in-flight leader")
 		select {
 		case <-c.done:
 			if c.reject == nil {
+				meta.Source = sourceDedup
 				return c.p, nil
 			}
 			switch c.reject.Code {
-			case codeRateLimited, codeQueueFull, codeDeadline:
+			case codeRateLimited, codeQueueFull, codeDeadline, codeDraining:
 				lastReject = c.reject
 			default:
 				return nil, c.reject
 			}
 		case <-ctx.Done():
-			return nil, errDeadline()
+			return nil, s.errCtxExpired(ctx)
 		}
 		if s.stopDispatch() {
 			return nil, lastReject
@@ -469,7 +537,7 @@ func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*pay
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			return nil, errDeadline()
+			return nil, s.errCtxExpired(ctx)
 		}
 		if backoff < 64*time.Millisecond {
 			backoff *= 2
@@ -477,27 +545,32 @@ func (s *Server) computeRow(ctx context.Context, req *Request, key string) (*pay
 	}
 }
 
-func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string, tr *trace, meta *rowMeta) (*payload, *apiError) {
 	if p, ok := s.cache.Get(key); ok {
 		s.stats.add(&s.stats.CacheHits, 1)
+		tr.event(evCacheHit, "")
+		meta.Source = sourceCache
 		return p, nil
 	}
 	res := make(chan jobResult, 1)
-	jb := &job{ctx: ctx, req: req, key: key, res: res}
+	jb := &job{ctx: ctx, req: req, key: key, res: res, tr: tr}
 	select {
 	case s.queue <- jb:
+		tr.event(evQueued, "")
 	case <-ctx.Done():
-		return nil, errDeadline()
+		return nil, s.errCtxExpired(ctx)
 	}
 	select {
 	case r := <-res:
+		meta.Attempts += r.attempts
 		if r.reject != nil {
 			return nil, r.reject
 		}
+		meta.Source = sourceFresh
 		s.cache.Add(key, r.p)
 		return r.p, nil
 	case <-ctx.Done():
-		return nil, errDeadline()
+		return nil, s.errCtxExpired(ctx)
 	}
 }
 
@@ -521,6 +594,11 @@ type batchRowStatus struct {
 	Index  int            `json:"index"`
 	Key    string         `json:"key"`
 	Status jobs.RowStatus `json:"status"`
+	// Attempts and Source are serving provenance: how many worker attempts
+	// the row took and where its bytes came from ("fresh", "cache", "dedup",
+	// "journal"). Metadata only — the journaled grid bytes never carry them.
+	Attempts int    `json:"attempts"`
+	Source   string `json:"source,omitempty"`
 }
 
 func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
@@ -532,7 +610,9 @@ func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
 	sts := e.job.Statuses()
 	grid := make([]batchRowStatus, len(sts))
 	for i, st := range sts {
-		grid[i] = batchRowStatus{Index: i, Key: e.job.Key(i), Status: st}
+		m := e.metaOf(i)
+		grid[i] = batchRowStatus{Index: i, Key: e.job.Key(i), Status: st,
+			Attempts: m.Attempts, Source: m.Source}
 	}
 	writeJSON(w, http.StatusOK, batchStatus{
 		Job: e.job.ID, Status: jobStatus(e.job), Rows: e.job.Rows(),

@@ -283,6 +283,47 @@ func TestBatchJournalResumeServedFromJournal(t *testing.T) {
 	if st := b.Stats(); st.Simulations != 0 || st.BatchRows != 0 {
 		t.Fatalf("finished rows must never be recomputed: %+v", st)
 	}
+	// Every replayed row's provenance says so: source journal, zero attempts.
+	var status struct {
+		Grid []batchRowStatus `json:"grid"`
+	}
+	if err := json.Unmarshal(get(b, "/batch/"+sp.header.Job).Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range status.Grid {
+		if row.Source != sourceJournal || row.Attempts != 0 {
+			t.Fatalf("replayed row %d provenance = %q/%d attempts, want %q/0",
+				row.Index, row.Source, row.Attempts, sourceJournal)
+		}
+	}
+}
+
+// TestBatchRowProvenance warms the result cache with one row's /simulate
+// twin, runs a two-row batch, and expects the status grid to attribute one
+// row to the cache (zero attempts) and the other to a fresh computation
+// (at least one attempt).
+func TestBatchRowProvenance(t *testing.T) {
+	s := newTestServer(t, Config{})
+	warm := mustOK(t, s, `{"alg":"prefix","n":64,"p":4,"seed":1}`)
+	sp := parseStream(t, postBatch(s, `{"algs":["prefix"],"ns":[64],"ps":[4],"seeds":[1,2]}`).Body.Bytes())
+	waitBatchDone(t, s, sp.header.Job)
+	var status struct {
+		Grid []batchRowStatus `json:"grid"`
+	}
+	if err := json.Unmarshal(get(s, "/batch/"+sp.header.Job).Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Grid) != 2 {
+		t.Fatalf("grid rows = %d, want 2", len(status.Grid))
+	}
+	// Rows expand in seed order: row 0 is the warmed seed 1, row 1 is seed 2.
+	if r := status.Grid[0]; r.Key != warm.Key || r.Source != sourceCache || r.Attempts != 0 {
+		t.Fatalf("warmed row provenance = %q/%d attempts (key %s, warm key %s), want %q/0",
+			r.Source, r.Attempts, r.Key, warm.Key, sourceCache)
+	}
+	if r := status.Grid[1]; r.Source != sourceFresh || r.Attempts < 1 {
+		t.Fatalf("cold row provenance = %q/%d attempts, want %q/>=1", r.Source, r.Attempts, sourceFresh)
+	}
 }
 
 // TestBatchKillRestartResumesFromJournal is the crash-recovery drill: a slow
@@ -533,7 +574,7 @@ func TestBatchRowRetriesInheritedDeadline(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		p, reject := s.computeRow(ctx, &req, key)
+		p, reject := s.computeRow(ctx, &req, key, nil, nil)
 		done <- outcome{p, reject}
 	}()
 	// The row must join as a follower (the key is held until finish), so

@@ -124,13 +124,15 @@ func TestChaosStorm(t *testing.T) {
 		MaxAttempts:  3,
 		RetryBackoff: time.Millisecond,
 		HedgeAfter:   40 * time.Millisecond,
+		TraceBuffer:  512, // wide enough to retain every storm request's timeline
 		Injector:     chaosInjector(3),
 	})
 
 	type reply struct {
-		key  int
-		code int
-		body []byte
+		key    int
+		code   int
+		traced bool
+		body   []byte
 	}
 	total := keys * dups
 	replies := make([]reply, total)
@@ -139,9 +141,16 @@ func TestChaosStorm(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body := fmt.Sprintf(`{"alg":"prefix","n":64,"p":4,"seed":%d,"deadline_ms":2000}`, i%keys)
+			// Half the storm opts into tracing: byte-identity of 200 bodies
+			// per key below then proves tracing perturbs zero payload bytes.
+			traced := i%2 == 0
+			extra := ""
+			if traced {
+				extra = `,"trace":true`
+			}
+			body := fmt.Sprintf(`{"alg":"prefix","n":64,"p":4,"seed":%d,"deadline_ms":2000%s}`, i%keys, extra)
 			rr := post(s, body)
-			replies[i] = reply{key: i % keys, code: rr.Code, body: rr.Body.Bytes()}
+			replies[i] = reply{key: i % keys, code: rr.Code, traced: traced, body: rr.Body.Bytes()}
 		}(i)
 	}
 	wg.Wait()
@@ -159,11 +168,18 @@ func TestChaosStorm(t *testing.T) {
 				t.Fatalf("undecodable 200 body: %v", err)
 			}
 			// 2. Dedup/cache/hedge coherence: every 200 for one key carries
-			//    byte-identical runs.
+			//    byte-identical runs — traced and untraced alike, so the
+			//    timeline provably lives outside the shared payload.
 			if prev, ok := okRuns[r.key]; ok && !bytes.Equal(prev, w.Runs) {
 				t.Fatalf("key %d: divergent 200 bodies under chaos:\n%s\nvs\n%s", r.key, prev, w.Runs)
 			}
 			okRuns[r.key] = w.Runs
+			if r.traced && (w.Trace == nil || w.Trace.Outcome != "ok") {
+				t.Fatalf("key %d: traced 200 without an ok timeline: %s", r.key, r.body)
+			}
+			if !r.traced && w.Trace != nil {
+				t.Fatalf("key %d: untraced 200 grew a timeline: %s", r.key, r.body)
+			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			var w wireResp
 			if err := json.Unmarshal(r.body, &w); err != nil || w.Error == nil {
@@ -201,6 +217,44 @@ func TestChaosStorm(t *testing.T) {
 	s.Drain()
 	if rr := post(s, baseReq); rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("post-storm drain: want 503, got %d", rr.Code)
+	}
+
+	// 6. /tracez accounts for the whole storm: one timeline per received
+	//    request, each sealed with a terminal outcome that matches the
+	//    ledger bucket the request landed in — the histograms are equal.
+	tz := getTracez(t, s)
+	outcomes := map[string]int64{}
+	var timelines int64
+	for _, tl := range tz.Traces {
+		if tl.Kind != kindSimulate {
+			continue
+		}
+		timelines++
+		outcomes[tl.Outcome]++
+		if last := tl.Events[len(tl.Events)-1]; last.Type != evOutcome || last.Detail != tl.Outcome {
+			t.Fatalf("timeline for %s: terminal event %+v does not match outcome %q", tl.Key, last, tl.Outcome)
+		}
+	}
+	st = s.Stats()
+	if timelines != st.Received {
+		t.Fatalf("ring holds %d simulate timelines, ledger received %d", timelines, st.Received)
+	}
+	for outcome, want := range map[string]int64{
+		"ok":            st.OK,
+		codeInvalid:     st.Invalid,
+		codeRateLimited: st.RateLimited,
+		codeQueueFull:   st.QueueFull,
+		codeDraining:    st.DrainRejected,
+		codeDeadline:    st.DeadlineExpired,
+		codeTooLarge:    st.TooLarge,
+	} {
+		if outcomes[outcome] != want {
+			t.Fatalf("timeline outcome %q: %d timelines vs ledger %d (%v vs %+v)",
+				outcome, outcomes[outcome], want, outcomes, st)
+		}
+	}
+	if got := outcomes[codeInternal] + outcomes[codeQuarantined]; got != st.Internal {
+		t.Fatalf("internal-class timelines %d vs ledger %d", got, st.Internal)
 	}
 	s.Close()
 }

@@ -18,6 +18,9 @@ type apiError struct {
 // errorBody is the JSON envelope of a rejection.
 type errorBody struct {
 	Error apiError `json:"error"`
+	// Trace is the rejected request's attempt timeline, present only when
+	// the request set "trace": true.
+	Trace *Timeline `json:"trace,omitempty"`
 }
 
 // The typed rejection vocabulary.

@@ -11,6 +11,7 @@ import (
 //     defaults as zero values, one spelling them out explicitly — hash to
 //     the same SHA-256 key.
 //  2. The deadline never enters the key: it shapes serving, not results.
+//     The trace opt-in is in the same class and checked the same way.
 //  3. Any result-determining field entering the key actually changes it
 //     (seed and runs are checked, as the cheapest to mutate).
 func FuzzRequestKey(f *testing.F) {
@@ -59,6 +60,9 @@ func FuzzRequestKey(f *testing.F) {
 			b.Budget = &unlimited
 		}
 		b.DeadlineMS = deadlineMS + 1000
+		// Serving-only flags must never enter the key: b also flips the trace
+		// opt-in, which would fork the cache if it were keyed.
+		b.Trace = !a.Trace
 
 		a.normalize()
 		b.normalize()

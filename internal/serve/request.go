@@ -56,6 +56,12 @@ type Request struct {
 	// queueing included. 0 means the server's default. Deliberately NOT part
 	// of the canonical key: it shapes the serving, not the result.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+
+	// Trace opts this request into an attempt timeline attached to the
+	// response envelope. Like DeadlineMS it shapes serving only — it is
+	// excluded from the canonical key, and the timeline rides outside the
+	// cacheable payload so traced and untraced result bytes are identical.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Limits bound what a single request may ask of the host; requests beyond
@@ -257,4 +263,8 @@ type Response struct {
 	Dedup bool `json:"dedup,omitempty"`
 	// ElapsedMS is this request's wall-clock time in the service.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Trace is the request's attempt timeline, present only when the request
+	// set "trace": true. It lives outside the shared payload: attaching it
+	// never perturbs the cached/deduped/fresh byte-identity of the result.
+	Trace *Timeline `json:"trace,omitempty"`
 }

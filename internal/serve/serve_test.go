@@ -24,6 +24,7 @@ type wireResp struct {
 	Runs      json.RawMessage `json:"runs"`
 	Dedup     bool            `json:"dedup"`
 	ElapsedMS int64           `json:"elapsed_ms"`
+	Trace     *Timeline       `json:"trace"`
 	Error     *apiError       `json:"error"`
 }
 

@@ -115,6 +115,10 @@ type Config struct {
 	// BatchParallel bounds how many rows of one batch job are in flight at
 	// once (default: Workers).
 	BatchParallel int
+	// TraceBuffer is how many completed attempt timelines GET /tracez
+	// retains (default 256; negative disables the ring — per-request
+	// "trace": true opt-in still works).
+	TraceBuffer int
 	// Injector, when non-nil, injects faults into worker attempts (chaos
 	// testing only).
 	Injector FaultInjector
@@ -167,6 +171,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchParallel <= 0 {
 		c.BatchParallel = c.Workers
+	}
+	switch {
+	case c.TraceBuffer == 0:
+		c.TraceBuffer = 256
+	case c.TraceBuffer < 0:
+		c.TraceBuffer = 0 // ring disabled
 	}
 	c.Limits = c.Limits.withDefaults()
 	if c.Logf == nil {
@@ -243,6 +253,7 @@ type Server struct {
 	cache   *resultCache
 	flight  *flightGroup
 	breaker *jobs.Breaker
+	tracer  *tracer
 	stats   Stats
 
 	start    time.Time
@@ -282,6 +293,7 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		flight:  newFlightGroup(),
 		breaker: jobs.NewBreaker(cfg.QuarantineAfter),
+		tracer:  newTracerRing(cfg.TraceBuffer),
 		batches: make(map[string]*batchEntry),
 		start:   time.Now(),
 	}
@@ -291,6 +303,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /batch", s.handleBatchList)
 	s.mux.HandleFunc("GET /batch/{id}", s.handleBatchStatus)
 	s.mux.HandleFunc("GET /batch/{id}/grid", s.handleBatchGrid)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
@@ -406,8 +419,13 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiE
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.stats.add(&s.stats.Received, 1)
+	// Every received request gets a timeline when the ring is on, created
+	// before any rejection can happen, so /tracez accounts for the whole
+	// ledger — the terminal outcome event of each timeline is exactly the
+	// counter the request landed in.
+	tr := s.tracer.start(kindSimulate)
 	if !s.admitHandler() {
-		s.writeReject(w, errDraining())
+		s.rejectTraced(w, errDraining(), tr, false)
 		return
 	}
 	defer s.exitHandler()
@@ -415,15 +433,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	var req Request
 	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
-		s.writeReject(w, apiErr)
+		s.rejectTraced(w, apiErr, tr, false)
 		return
 	}
 	req.normalize()
+	if tr == nil && req.Trace {
+		// Ring disabled but this request opted in: trace it anyway; the
+		// finished timeline rides the response and is never retained.
+		tr = newTrace(kindSimulate)
+	}
 	if err := req.validate(s.cfg.Limits); err != nil {
-		s.writeReject(w, errInvalid(err.Error()))
+		s.rejectTraced(w, errInvalid(err.Error()), tr, req.Trace)
 		return
 	}
 	key := req.Key()
+	tr.setKey(key)
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
@@ -440,14 +464,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			workCtx, cancel = context.WithTimeout(workCtx, deadline)
 			defer cancel()
 		}
-		p, reject := s.compute(workCtx, &req, key)
+		p, reject := s.compute(workCtx, &req, key, tr)
 		s.flight.finish(key, c, p, reject)
-		s.respond(w, p, reject, false, start)
+		s.respond(w, p, reject, false, start, tr, req.Trace)
 		return
 	}
 
 	// Follower: share the leader's outcome, bounded by our own deadline.
 	s.stats.add(&s.stats.Dedups, 1)
+	tr.event(evDedupFollower, "awaiting in-flight leader")
 	waitCtx := r.Context()
 	if deadline > 0 {
 		var cancel context.CancelFunc
@@ -456,19 +481,35 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-c.done:
-		s.respond(w, c.p, c.reject, true, start)
+		s.respond(w, c.p, c.reject, true, start, tr, req.Trace)
 	case <-waitCtx.Done():
-		s.writeReject(w, errDeadline())
+		s.rejectTraced(w, errDeadline(), tr, req.Trace)
 	}
+}
+
+// errCtxExpired types a context-expiry rejection: a deadline that actually
+// fired is the client's 504, everything else that cancelled work while the
+// server is shutting down is the drain hard-stop and gets the typed 503 —
+// previously both surfaced as deadline_expired, blaming the client for the
+// server's own shutdown.
+func (s *Server) errCtxExpired(ctx context.Context) *apiError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return errDeadline()
+	}
+	if s.baseCtx.Err() != nil {
+		return errDraining()
+	}
+	return errDeadline()
 }
 
 // compute is the leader's path: cache, then admission, then the worker
 // fleet. The cache is written before the flight record is released (in
 // handleSimulate), so a request arriving after completion finds either the
 // in-flight call or the cached payload — never a gap that would recompute.
-func (s *Server) compute(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+func (s *Server) compute(ctx context.Context, req *Request, key string, tr *trace) (*payload, *apiError) {
 	if p, ok := s.cache.Get(key); ok {
 		s.stats.add(&s.stats.CacheHits, 1)
+		tr.event(evCacheHit, "")
 		hit := *p // shallow copy: Runs is shared and immutable
 		hit.Cached = true
 		return &hit, nil
@@ -476,7 +517,7 @@ func (s *Server) compute(ctx context.Context, req *Request, key string) (*payloa
 	if !s.bucket.Take() {
 		return nil, errRateLimited()
 	}
-	p, reject := s.execute(ctx, req, key)
+	p, reject := s.execute(ctx, req, key, tr)
 	if reject != nil {
 		return nil, reject
 	}
@@ -488,11 +529,12 @@ func (s *Server) compute(ctx context.Context, req *Request, key string) (*payloa
 // straggler with one re-dispatch when configured. Result channels are
 // buffered for both attempts, so a losing attempt's late delivery is
 // dropped into the buffer, never blocking a worker.
-func (s *Server) execute(ctx context.Context, req *Request, key string) (*payload, *apiError) {
+func (s *Server) execute(ctx context.Context, req *Request, key string, tr *trace) (*payload, *apiError) {
 	res := make(chan jobResult, 2)
-	if !s.enqueue(&job{ctx: ctx, req: req, key: key, res: res}) {
+	if !s.enqueue(&job{ctx: ctx, req: req, key: key, res: res, tr: tr}) {
 		return nil, errQueueFull()
 	}
+	tr.event(evQueued, "")
 	outstanding := 1
 	var hedgeC <-chan time.Time
 	if s.cfg.HedgeAfter > 0 {
@@ -520,15 +562,16 @@ func (s *Server) execute(ctx context.Context, req *Request, key string) (*payloa
 		case <-hedgeC:
 			hedgeC = nil
 			hj := &job{ctx: ctx, req: req, key: key, res: res,
-				attemptBase: s.cfg.MaxAttempts, hedge: true}
+				attemptBase: s.cfg.MaxAttempts, hedge: true, tr: tr}
 			if s.enqueue(hj) {
 				outstanding++
 				s.stats.add(&s.stats.Hedges, 1)
+				tr.event(evHedged, "primary stalled; re-dispatched")
 			}
 		case <-ctx.Done():
 			// The workers observe the same context and answer into the
 			// buffered channel on their own schedule.
-			return nil, errDeadline()
+			return nil, s.errCtxExpired(ctx)
 		}
 	}
 }
@@ -544,22 +587,51 @@ func (s *Server) enqueue(j *job) bool {
 	}
 }
 
-// respond writes the success or rejection for one request.
-func (s *Server) respond(w http.ResponseWriter, p *payload, reject *apiError, dedup bool, start time.Time) {
+// respond writes the success or rejection for one request, sealing its
+// timeline with the matching outcome. The timeline attaches to the response
+// envelope only — never the payload — so traced, untraced, cached and
+// deduped responses all carry byte-identical result bytes.
+func (s *Server) respond(w http.ResponseWriter, p *payload, reject *apiError, dedup bool, start time.Time, tr *trace, attach bool) {
 	if reject != nil {
-		s.writeReject(w, reject)
+		s.rejectTraced(w, reject, tr, attach)
 		return
 	}
 	s.stats.add(&s.stats.OK, 1)
-	writeJSON(w, http.StatusOK, Response{
+	tl := tr.finish("ok")
+	s.tracer.push(tl)
+	resp := Response{
 		payload:   *p,
 		Dedup:     dedup,
 		ElapsedMS: time.Since(start).Milliseconds(),
-	})
+	}
+	if attach {
+		resp.Trace = tl
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeReject writes a typed rejection and bumps its outcome counter.
 func (s *Server) writeReject(w http.ResponseWriter, e *apiError) {
+	s.rejectTraced(w, e, nil, false)
+}
+
+// rejectTraced is writeReject plus timeline bookkeeping: the trace is sealed
+// with the rejection's code as its terminal outcome (keeping /tracez in
+// lock-step with the ledger) and attached to the error body when the request
+// opted in.
+func (s *Server) rejectTraced(w http.ResponseWriter, e *apiError, tr *trace, attach bool) {
+	s.bumpOutcome(e)
+	tl := tr.finish(e.Code)
+	s.tracer.push(tl)
+	body := errorBody{Error: *e}
+	if attach {
+		body.Trace = tl
+	}
+	writeJSON(w, e.Status, body)
+}
+
+// bumpOutcome lands a rejection in its single ledger counter.
+func (s *Server) bumpOutcome(e *apiError) {
 	switch e.Code {
 	case codeInvalid:
 		s.stats.add(&s.stats.Invalid, 1)
@@ -579,7 +651,6 @@ func (s *Server) writeReject(w http.ResponseWriter, e *apiError) {
 		// typed body carries the distinction.
 		s.stats.add(&s.stats.Internal, 1)
 	}
-	writeJSON(w, e.Status, errorBody{Error: *e})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -609,6 +680,20 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		InFlight: s.inFlight.Load(),
 		Draining: s.Draining(),
 		Counters: s.Stats(),
+	})
+}
+
+// tracezBody is the GET /tracez schema: the ring capacity and the retained
+// completed timelines, newest first.
+type tracezBody struct {
+	Capacity int         `json:"capacity"`
+	Traces   []*Timeline `json:"traces"`
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, tracezBody{
+		Capacity: len(s.tracer.buf),
+		Traces:   s.tracer.snapshot(),
 	})
 }
 

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func getTracez(t *testing.T, s *Server) tracezBody {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest("GET", "/tracez", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("tracez: want 200, got %d: %s", rr.Code, rr.Body.String())
+	}
+	var body tracezBody
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("tracez: bad body: %v\n%s", err, rr.Body.String())
+	}
+	return body
+}
+
+// eventTypes flattens a timeline's event list for order assertions.
+func eventTypes(tl *Timeline) []string {
+	out := make([]string, len(tl.Events))
+	for i, ev := range tl.Events {
+		out[i] = ev.Type
+	}
+	return out
+}
+
+// hasSubsequence reports whether want appears in got in order (not
+// necessarily contiguously).
+func hasSubsequence(got, want []string) bool {
+	j := 0
+	for _, g := range got {
+		if j < len(want) && g == want[j] {
+			j++
+		}
+	}
+	return j == len(want)
+}
+
+// TestTraceAttachedOutsideCachedPayload is the byte-identity pin for the
+// tentpole: opting into a trace changes only the response envelope, never
+// the cacheable payload — traced fresh, traced cached, and untraced scratch
+// responses all carry byte-equal runs under the same canonical key.
+func TestTraceAttachedOutsideCachedPayload(t *testing.T) {
+	s := newTestServer(t, Config{})
+	scratch := newTestServer(t, Config{})
+	const traced = `{"alg":"prefix","n":96,"p":4,"seed":11,"runs":2,"trace":true}`
+	const untraced = `{"alg":"prefix","n":96,"p":4,"seed":11,"runs":2}`
+
+	fresh := mustOK(t, s, traced)
+	if fresh.Trace == nil {
+		t.Fatal("traced fresh response carries no timeline")
+	}
+	if fresh.Trace.Outcome != "ok" || fresh.Trace.Kind != kindSimulate {
+		t.Fatalf("fresh timeline outcome/kind = %q/%q, want ok/simulate", fresh.Trace.Outcome, fresh.Trace.Kind)
+	}
+	if last := fresh.Trace.Events[len(fresh.Trace.Events)-1]; last.Type != evOutcome || last.Detail != "ok" {
+		t.Fatalf("fresh timeline must end in outcome(ok), got %+v", last)
+	}
+
+	cached := mustOK(t, s, traced)
+	if !cached.Cached {
+		t.Fatal("second traced request should hit the cache")
+	}
+	if cached.Trace == nil || !hasSubsequence(eventTypes(cached.Trace), []string{evCacheHit, evOutcome}) {
+		t.Fatalf("cached timeline missing cache_hit event: %v", eventTypes(cached.Trace))
+	}
+
+	plain := mustOK(t, scratch, untraced)
+	if plain.Trace != nil {
+		t.Fatal("untraced response must not carry a timeline")
+	}
+
+	if !bytes.Equal(fresh.Runs, cached.Runs) || !bytes.Equal(fresh.Runs, plain.Runs) {
+		t.Fatalf("runs must be byte-identical traced/cached/untraced:\n%s\n%s\n%s",
+			fresh.Runs, cached.Runs, plain.Runs)
+	}
+	if fresh.Key != cached.Key || fresh.Key != plain.Key {
+		t.Fatalf("canonical keys differ: %s %s %s — trace flag must never be keyed",
+			fresh.Key, cached.Key, plain.Key)
+	}
+	if fresh.Trace.Key != fresh.Key {
+		t.Fatalf("timeline key %s != response key %s", fresh.Trace.Key, fresh.Key)
+	}
+}
+
+// TestTimelinePanicRetryEvents injects a first-attempt panic and asserts the
+// timeline narrates the recovery: an attempt that panicked, a backoff, a
+// retry, a second attempt, and a terminal ok — with worker and attempt
+// ordinals attached.
+func TestTimelinePanicRetryEvents(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:      1,
+		RetryBackoff: time.Millisecond,
+		Injector: func(worker, attempt int, key string) Fault {
+			return Fault{Panic: attempt == 0}
+		},
+	})
+	w := mustOK(t, s, `{"alg":"prefix","n":64,"p":2,"seed":3,"trace":true}`)
+	if w.Trace == nil {
+		t.Fatal("no timeline attached")
+	}
+	types := eventTypes(w.Trace)
+	want := []string{evAttempt, evPanicked, evBackoff, evRetried, evAttempt, evOutcome}
+	if !hasSubsequence(types, want) {
+		t.Fatalf("timeline %v missing ordered subsequence %v", types, want)
+	}
+	if !hasSubsequence(types, []string{evQueued}) || !hasSubsequence(types, []string{evDispatched}) {
+		t.Fatalf("timeline %v missing queued/dispatched events", types)
+	}
+	var attempts []int
+	for _, ev := range w.Trace.Events {
+		if ev.Type == evAttempt {
+			attempts = append(attempts, ev.Attempt)
+			if ev.Worker != 0 {
+				t.Fatalf("attempt event on worker %d, want 0 (single worker)", ev.Worker)
+			}
+		}
+	}
+	if len(attempts) != 2 || attempts[0] != 0 || attempts[1] != 1 {
+		t.Fatalf("attempt ordinals = %v, want [0 1]", attempts)
+	}
+	// Timestamps are monotone within the list.
+	for i := 1; i < len(w.Trace.Events); i++ {
+		if w.Trace.Events[i].AtUS < w.Trace.Events[i-1].AtUS {
+			t.Fatalf("event %d at %dus precedes event %d at %dus",
+				i, w.Trace.Events[i].AtUS, i-1, w.Trace.Events[i-1].AtUS)
+		}
+	}
+}
+
+// TestTracezRingBounded fills a 4-deep ring with 6 completed requests and
+// expects exactly the newest 4 back, newest first, each sealed with a
+// terminal outcome event.
+func TestTracezRingBounded(t *testing.T) {
+	s := newTestServer(t, Config{TraceBuffer: 4})
+	var keys []string
+	for i := 0; i < 6; i++ {
+		w := mustOK(t, s, fmt.Sprintf(`{"alg":"prefix","n":64,"p":2,"seed":%d}`, i))
+		keys = append(keys, w.Key)
+	}
+	tz := getTracez(t, s)
+	if tz.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", tz.Capacity)
+	}
+	if len(tz.Traces) != 4 {
+		t.Fatalf("retained %d timelines, want 4", len(tz.Traces))
+	}
+	for i, tl := range tz.Traces {
+		wantKey := keys[len(keys)-1-i] // newest first
+		if tl.Key != wantKey {
+			t.Fatalf("trace %d key = %s, want %s (newest-first order)", i, tl.Key, wantKey)
+		}
+		if tl.Outcome != "ok" {
+			t.Fatalf("trace %d outcome = %q, want ok", i, tl.Outcome)
+		}
+		if last := tl.Events[len(tl.Events)-1]; last.Type != evOutcome {
+			t.Fatalf("trace %d does not end in an outcome event: %+v", i, last)
+		}
+	}
+}
+
+// TestTracezDisabledOptInStillWorks turns the ring off (-trace-buffer -1)
+// and checks the per-request opt-in still produces a timeline while /tracez
+// retains nothing.
+func TestTracezDisabledOptInStillWorks(t *testing.T) {
+	s := newTestServer(t, Config{TraceBuffer: -1})
+	w := mustOK(t, s, `{"alg":"prefix","n":64,"p":2,"seed":5,"trace":true}`)
+	if w.Trace == nil || w.Trace.Outcome != "ok" {
+		t.Fatalf("opt-in trace missing with ring disabled: %+v", w.Trace)
+	}
+	plain := mustOK(t, s, `{"alg":"prefix","n":64,"p":2,"seed":6}`)
+	if plain.Trace != nil {
+		t.Fatal("untraced request got a timeline")
+	}
+	tz := getTracez(t, s)
+	if tz.Capacity != 0 || len(tz.Traces) != 0 {
+		t.Fatalf("disabled ring retained state: capacity=%d traces=%d", tz.Capacity, len(tz.Traces))
+	}
+}
+
+// TestTraceDedupFollower staggers two identical traced requests so the
+// second joins the first's flight, and expects the follower's timeline to
+// say so — with both responses byte-identical and exactly one simulation.
+func TestTraceDedupFollower(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:  2,
+		Injector: func(int, int, string) Fault { return Fault{Delay: 150 * time.Millisecond} },
+	})
+	const body = `{"alg":"prefix","n":64,"p":4,"seed":7,"trace":true}`
+	var wg sync.WaitGroup
+	var leaderResp wireResp
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderResp = mustOK(t, s, body)
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() == 1 })
+	time.Sleep(20 * time.Millisecond) // let the leader claim the flight
+	follower := mustOK(t, s, body)
+	wg.Wait()
+
+	if !follower.Dedup {
+		t.Fatal("second request did not dedup against the in-flight leader")
+	}
+	if follower.Trace == nil || !hasSubsequence(eventTypes(follower.Trace), []string{evDedupFollower, evOutcome}) {
+		t.Fatalf("follower timeline missing dedup_follower: %v", eventTypes(follower.Trace))
+	}
+	if !bytes.Equal(leaderResp.Runs, follower.Runs) {
+		t.Fatalf("deduped runs differ:\n%s\nvs\n%s", leaderResp.Runs, follower.Runs)
+	}
+	if st := s.Stats(); st.Simulations != 1 {
+		t.Fatalf("want exactly 1 simulation, got %+v", st)
+	}
+}

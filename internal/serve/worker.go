@@ -23,12 +23,19 @@ type job struct {
 	// injectors can target primaries without also poisoning their hedges.
 	attemptBase int
 	hedge       bool
+	// tr, when non-nil, collects this job's attempt timeline. Both the
+	// primary and its hedge share the requester's trace; trace methods are
+	// locked and nil-safe.
+	tr *trace
 }
 
 type jobResult struct {
 	p      *payload
 	reject *apiError
 	hedge  bool
+	// attempts is how many attempts this dispatch actually made before
+	// resolving; batch rows surface the sum as row provenance.
+	attempts int
 }
 
 // errRunPanicked marks an attempt that died to a recovered panic (retryable:
@@ -53,9 +60,11 @@ func (w *worker) loop() {
 	defer w.pool.Close()
 	for j := range w.s.queue {
 		if j.ctx.Err() != nil {
-			j.deliver(jobResult{reject: errDeadline(), hedge: j.hedge})
+			j.tr.add(evDispatched, w.id, -1, "expired while queued")
+			j.deliver(jobResult{reject: w.s.errCtxExpired(j.ctx), hedge: j.hedge})
 			continue
 		}
+		j.tr.add(evDispatched, w.id, -1, "")
 		w.process(j)
 	}
 }
@@ -81,41 +90,91 @@ func (j *job) deliver(r jobResult) {
 func (w *worker) process(j *job) {
 	max := w.s.cfg.MaxAttempts
 	var reject *apiError
+	tried := 0
 	for a := 0; a < max; a++ {
 		if w.s.breaker.Tripped(j.key) {
+			j.tr.add(evQuarantined, w.id, j.attemptBase+a, fmt.Sprintf("breaker tripped after %d panics", w.s.breaker.Panics(j.key)))
 			reject = errQuarantined(w.s.breaker.Panics(j.key))
 			break
 		}
 		if a > 0 {
 			w.s.stats.add(&w.s.stats.Retries, 1)
-			if !sleepCtx(j.ctx, w.s.cfg.RetryBackoff<<uint(a-1)) {
-				reject = errDeadline()
+			d := retryBackoff(w.s.cfg.RetryBackoff, a)
+			j.tr.add(evBackoff, w.id, j.attemptBase+a, d.String())
+			if !sleepCtx(j.ctx, d) {
+				reject = w.s.errCtxExpired(j.ctx)
 				break
 			}
+			j.tr.add(evRetried, w.id, j.attemptBase+a, "")
 		}
+		tried++
+		j.tr.add(evAttempt, w.id, j.attemptBase+a, "")
 		p, err := w.attempt(j, j.attemptBase+a)
 		if err == nil {
-			j.deliver(jobResult{p: p, hedge: j.hedge})
+			j.deliver(jobResult{p: p, hedge: j.hedge, attempts: tried})
 			return
 		}
 		if errors.Is(err, errRunPanicked) {
 			// Every panicking attempt poisoned (and quarantined) one distinct
 			// engine; the breaker counts them across workers and retries.
+			j.tr.add(evPanicked, w.id, j.attemptBase+a, err.Error())
 			if w.s.breaker.Record(j.key) {
+				j.tr.add(evQuarantined, w.id, j.attemptBase+a, fmt.Sprintf("breaker tripped after %d panics", w.s.breaker.Panics(j.key)))
 				reject = errQuarantined(w.s.breaker.Panics(j.key))
 				break
 			}
 			reject = errInternal(fmt.Sprintf("simulation panicked %d time(s): %v", a+1, err))
 			continue // retry on a replacement engine
 		}
-		// Context expiry (deadline or drain hard-stop) is not retryable.
-		reject = errDeadline()
+		// Non-panic attempt errors split three ways: the job context ended
+		// (the client's deadline, or the drain hard-stop — errCtxExpired
+		// tells them apart), or the run itself failed, which is a typed 500,
+		// not the client's 504.
+		if j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			reject = w.s.errCtxExpired(j.ctx)
+		} else {
+			reject = errInternal(fmt.Sprintf("run failed: %v", err))
+		}
 		break
 	}
 	if reject == nil {
 		reject = errInternal("retries exhausted")
 	}
-	j.deliver(jobResult{reject: reject, hedge: j.hedge})
+	j.deliver(jobResult{reject: reject, hedge: j.hedge, attempts: tried})
+}
+
+// Retry backoff is exponential in the attempt ordinal but clamped twice: the
+// shift is capped so the multiplier itself cannot overflow, and the product
+// is capped at maxRetryBackoff (or the base, if the operator configured a
+// base above the cap). The old unclamped `base << (a-1)` went negative past
+// attempt ~40 with the default 5ms base, and sleepCtx treats a non-positive
+// duration as "no sleep" — high-attempt configs were spinning hot instead of
+// backing off.
+const (
+	maxRetryBackoff = 5 * time.Second
+	maxBackoffShift = 16
+)
+
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	ceil := maxRetryBackoff
+	if base > ceil {
+		ceil = base
+	}
+	d := base << uint(shift)
+	if d <= 0 || d > ceil {
+		return ceil
+	}
+	return d
 }
 
 // attempt executes every run of the request once, on engines checked out of

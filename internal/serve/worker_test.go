@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffCapped pins the overflow fix: the old unclamped
+// `base << (a-1)` went negative past attempt ~40 with the default 5ms base
+// (and sleepCtx treats a non-positive duration as "no sleep at all"), so a
+// high -attempts config was spinning hot instead of backing off. Every
+// computed backoff must be positive, bounded, and non-decreasing in the
+// attempt ordinal.
+func TestRetryBackoffCapped(t *testing.T) {
+	bases := []time.Duration{
+		time.Nanosecond, time.Microsecond, time.Millisecond,
+		5 * time.Millisecond, time.Second, 10 * time.Second,
+	}
+	for _, base := range bases {
+		ceil := maxRetryBackoff
+		if base > ceil {
+			ceil = base
+		}
+		prev := time.Duration(0)
+		for a := 1; a <= 1000; a++ {
+			d := retryBackoff(base, a)
+			if d <= 0 {
+				t.Fatalf("base=%s attempt=%d: backoff %s not positive", base, a, d)
+			}
+			if d > ceil {
+				t.Fatalf("base=%s attempt=%d: backoff %s exceeds cap %s", base, a, d, ceil)
+			}
+			if d < prev {
+				t.Fatalf("base=%s attempt=%d: backoff %s shrank from %s", base, a, d, prev)
+			}
+			prev = d
+		}
+	}
+	// The exact case that used to overflow: 5ms << 62 is negative as a
+	// Duration; attempt 63 must now clamp instead.
+	if d := retryBackoff(5*time.Millisecond, 63); d != maxRetryBackoff {
+		t.Fatalf("overflow case: got %s, want clamp %s", d, maxRetryBackoff)
+	}
+	if d := retryBackoff(0, 5); d != 0 {
+		t.Fatalf("zero base: got %s, want 0", d)
+	}
+}
+
+// TestStallDuringDrainTypedDraining pins the misclassification fix: a
+// request stalled on a wedged engine that the drain hard-stop cancels must
+// land in the drain_rejected ledger bucket with a typed 503 "draining" —
+// not be blamed on the client as a 504 deadline it never set.
+func TestStallDuringDrainTypedDraining(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:    1,
+		DrainGrace: 100 * time.Millisecond,
+		Injector: func(worker, attempt int, key string) Fault {
+			return Fault{Stall: true}
+		},
+	})
+	type result struct {
+		status int
+		body   errorBody
+	}
+	done := make(chan result, 1)
+	go func() {
+		// No deadline_ms: nothing but the drain hard-stop can end the stall.
+		rr := post(s, `{"alg":"prefix","n":64,"p":2,"seed":9}`)
+		var body errorBody
+		_ = json.Unmarshal(rr.Body.Bytes(), &body)
+		done <- result{rr.Code, body}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.inFlight.Load() == 1 })
+	s.Close() // drain grace expires against the stall, hard-cancelling it
+
+	r := <-done
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %+v", r.status, r.body)
+	}
+	if r.body.Error.Code != codeDraining {
+		t.Fatalf("code = %q, want %q", r.body.Error.Code, codeDraining)
+	}
+	st := s.Stats()
+	if st.DrainRejected != 1 {
+		t.Fatalf("DrainRejected = %d, want 1 (stats %+v)", st.DrainRejected, st)
+	}
+	if st.DeadlineExpired != 0 {
+		t.Fatalf("DeadlineExpired = %d, want 0: drain hard-stop misclassified as the client's deadline", st.DeadlineExpired)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
