@@ -24,9 +24,22 @@
 // With -journal-dir set, every batch spec and row completion is fsync'd to an
 // append-only NDJSON journal; a restarted daemon replays it, serves finished
 // rows without recomputing them, and resumes the unfinished remainder — the
-// final grid is byte-identical to an uninterrupted run. -max-batch-jobs caps
-// how many completed jobs stay in memory and on the journal: past the cap the
-// oldest completed jobs are evicted and their journal files deleted.
+// final grid is byte-identical to an uninterrupted run, across arbitrarily
+// many crash/restart cycles: resume truncates a torn final record before
+// appending, and a journal whose replay stopped at a corrupt line is
+// rewritten from its intact prefix (write-temp + fsync + rename) so new
+// appends are never stranded behind the corruption. Finished jobs whose logs
+// carry waste are compacted down to spec + one record per terminal row.
+//
+// -warm-cache loads every journaled OK row into the LRU result cache at
+// startup, so a restarted daemon answers matching /simulate requests as
+// cache hits (timeline detail source=journal) with payload bytes identical
+// to the journaled result. -max-batch-jobs caps how many completed jobs stay
+// in memory and on the journal: past the cap the oldest completed jobs are
+// evicted and their journal files deleted. -journal-max-age bounds the
+// journal directory in time: completed jobs (and orphaned journal files)
+// idle longer than the age are evicted at startup and periodically;
+// unfinished jobs are never aged out.
 //
 // A SIGTERM or SIGINT triggers graceful drain: admission stops with typed
 // 503s, in-flight requests and dispatched batch rows run to completion
@@ -75,6 +88,8 @@ func main() {
 		maxBody    = flag.Int64("max-body", 1<<20, "largest accepted request body in bytes (typed 413 beyond)")
 
 		journalDir    = flag.String("journal-dir", "", "durable batch-job journal directory (empty = batch jobs die with the process)")
+		warmCache     = flag.Bool("warm-cache", false, "load journaled row results into the result cache at startup")
+		journalMaxAge = flag.Duration("journal-max-age", 0, "evict completed batch jobs whose journal is idle this long (0 = never)")
 		quarAfter     = flag.Int("quarantine-after", 3, "circuit-break a request key after it panics on this many distinct engines (-1 = off)")
 		maxBatchRows  = flag.Int("max-batch-rows", 4096, "largest row grid one batch spec may expand to")
 		maxBatchJobs  = flag.Int("max-batch-jobs", 64, "completed batch jobs retained in memory and on the journal (-1 = unbounded)")
@@ -102,6 +117,8 @@ func main() {
 		Limits:          serve.Limits{MaxN: *maxN, MaxP: *maxP, MaxRuns: *maxRuns},
 		MaxBodyBytes:    *maxBody,
 		JournalDir:      *journalDir,
+		WarmCache:       *warmCache,
+		JournalMaxAge:   *journalMaxAge,
 		QuarantineAfter: *quarAfter,
 		MaxBatchRows:    *maxBatchRows,
 		MaxBatchJobs:    *maxBatchJobs,

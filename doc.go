@@ -164,7 +164,17 @@
 //     cache/dedup resolution → typed outcome) to the response envelope
 //     without touching the cached payload bytes, GET /tracez retains the
 //     last -trace-buffer completed timelines, and GET /batch/{id} rows
-//     report attempts and result source (fresh/cache/dedup/journal).
+//     report attempts and result source (fresh/cache/dedup/journal);
+//   - batch jobs are durable: with -journal-dir every spec and row
+//     completion is fsync'd to an append-only NDJSON journal whose replay
+//     survives arbitrary crash/restart sequences — resume truncates torn
+//     final records, atomically rewrites past corrupt lines before
+//     appending, compacts finished jobs' logs to spec + one record per
+//     terminal row, and ages out idle completed jobs (-journal-max-age) —
+//     and doubles as a result corpus: -warm-cache loads journaled rows
+//     into the result cache at startup, so a restarted daemon serves its
+//     recorded corpus as cache hits (source=journal on the timeline)
+//     without recomputing anything.
 //
 // The serve.FaultInjector hook (wired to the -inject-panic-every /
 // -inject-stall-every / -inject-delay-every flags) deterministically

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -187,7 +188,12 @@ func (s *Server) batch(id string) (*batchEntry, bool) {
 // re-expanded (deterministically, so row indexes and keys line up), the
 // journal's terminal rows are applied — those are served as-is, never
 // recomputed — and jobs with rows still missing get a runner to finish
-// them.
+// them. With WarmCache on, replayed RowOK records are loaded into the LRU
+// result cache on the way through. Journals whose replay stopped at a
+// corrupt line are rewritten from their intact prefix before any append
+// (appends landing after the corruption would be invisible to every future
+// replay), and finished jobs whose logs carry waste — duplicates, ignored
+// records, a corrupt tail — are compacted down to spec + terminal rows.
 func (s *Server) resumeJournaledJobs() {
 	if s.journal == nil {
 		return
@@ -212,14 +218,41 @@ func (s *Server) resumeJournaledJobs() {
 				e.setMeta(i, rowMeta{Source: sourceJournal})
 			}
 		}
+		if s.cfg.WarmCache {
+			if warmed := s.warmFromJournal(job, rows, rj.Rows); warmed > 0 {
+				s.cfg.Logf("serve: journal job %s: warmed result cache with %d rows", rj.ID, warmed)
+			}
+		}
 		rtr := s.tracer.start(kindBatchResume)
 		rtr.setKey(rj.ID)
 		rtr.event(evJournalReplay, fmt.Sprintf("%d/%d rows from journal", applied, job.Rows()))
 		s.tracer.push(rtr.finish("resumed"))
 		if job.Done() {
+			// The job will never append again; if its log holds anything
+			// beyond spec + one record per row, compact it down.
+			if rj.Corrupt || applied < len(rj.Rows) {
+				if n, err := s.journal.Compact(rj.ID); err != nil {
+					s.cfg.Logf("serve: journal job %s: compaction failed: %v", rj.ID, err)
+				} else {
+					s.cfg.Logf("serve: journal job %s: compacted (%d bytes reclaimed)", rj.ID, n)
+				}
+			}
 			s.registerBatch(e)
 			s.cfg.Logf("serve: journal job %s complete (%d rows, all from journal)", rj.ID, job.Rows())
 			continue
+		}
+		if rj.Corrupt {
+			// Blind-appending after a corrupt line would journal every
+			// recomputed row into a dead zone no replay can reach; cut the
+			// corruption out first. If the repair fails, the job is kept
+			// read-only rather than resumed into silent data loss.
+			if err := s.journal.Rewrite(rj); err != nil {
+				s.cfg.Logf("serve: journal job %s: corrupt-line repair failed (%v); job NOT resumed", rj.ID, err)
+				s.registerBatch(e)
+				job.Interrupt()
+				continue
+			}
+			s.cfg.Logf("serve: journal job %s: rewrote journal past a corrupt line (%d intact rows kept)", rj.ID, applied)
 		}
 		log, err := s.journal.Reopen(rj.ID)
 		if err != nil {
@@ -236,6 +269,87 @@ func (s *Server) resumeJournaledJobs() {
 		go s.runBatch(e)
 		s.cfg.Logf("serve: resuming job %s: %d/%d rows from journal, %d to compute",
 			rj.ID, applied, job.Rows(), job.Rows()-applied)
+	}
+}
+
+// warmFromJournal loads a replayed job's RowOK records into the result
+// cache. A record qualifies only if it matches the re-expanded grid (index
+// in range, key equal — the same trust rule ApplyReplayed applies) and its
+// result bytes round-trip through the wire type unchanged, so a cache hit
+// later serves byte-identical payload bytes to what the journal holds; a
+// record that fails the round-trip is skipped, never served approximately.
+func (s *Server) warmFromJournal(job *jobs.Job, rows []Request, recs []jobs.RowRecord) int {
+	warmed := 0
+	for _, rec := range recs {
+		if rec.Status != jobs.RowOK || rec.Index < 0 || rec.Index >= len(rows) || rec.Key != job.Key(rec.Index) {
+			continue
+		}
+		var runs []RunSummary
+		if err := json.Unmarshal(rec.Result, &runs); err != nil {
+			s.cfg.Logf("serve: warm-cache: job %s row %d: undecodable result; skipped: %v", job.ID, rec.Index, err)
+			continue
+		}
+		canon, err := json.Marshal(runs)
+		if err != nil || !bytes.Equal(canon, rec.Result) {
+			s.cfg.Logf("serve: warm-cache: job %s row %d: result bytes not canonical; skipped", job.ID, rec.Index)
+			continue
+		}
+		s.cache.Add(rec.Key, &payload{Key: rec.Key, Alg: rows[rec.Index].Alg, Runs: runs, warmed: true})
+		warmed++
+	}
+	s.stats.add(&s.stats.CacheWarmed, int64(warmed))
+	return warmed
+}
+
+// gcJournals applies the age bound to the journal directory: completed jobs
+// whose journal has not been appended to for longer than JournalMaxAge are
+// evicted from the index and their files removed, and orphaned journal
+// files backing no indexed job (unreadable specs skipped at replay, files
+// from before a crash mid-eviction) age out the same way. Unfinished jobs
+// are never touched — they are the resume surface. Runs once at startup
+// (after resume, so unfinished journals are indexed and protected) and then
+// periodically from gcLoop.
+func (s *Server) gcJournals() {
+	if s.journal == nil || s.cfg.JournalMaxAge <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-s.cfg.JournalMaxAge)
+	entries, err := s.journal.Entries()
+	if err != nil {
+		s.cfg.Logf("serve: journal gc: %v", err)
+		return
+	}
+	for _, ent := range entries {
+		if ent.ModTime.After(cutoff) {
+			continue
+		}
+		s.batchMu.Lock()
+		e, indexed := s.batches[ent.ID]
+		if indexed && !e.job.Done() {
+			s.batchMu.Unlock()
+			continue
+		}
+		if indexed {
+			delete(s.batches, ent.ID)
+			kept := s.batchOrder[:0]
+			for _, id := range s.batchOrder {
+				if id != ent.ID {
+					kept = append(kept, id)
+				}
+			}
+			s.batchOrder = kept
+		}
+		s.batchMu.Unlock()
+		if err := s.journal.Remove(ent.ID); err != nil {
+			s.cfg.Logf("serve: journal gc: job %s: %v", ent.ID, err)
+			continue
+		}
+		what := "orphaned journal"
+		if indexed {
+			what = "completed job"
+		}
+		s.cfg.Logf("serve: journal gc: %s %s aged out (idle since %s, max age %s)",
+			what, ent.ID, ent.ModTime.Format(time.RFC3339), s.cfg.JournalMaxAge)
 	}
 }
 
@@ -548,8 +662,12 @@ func (s *Server) computeRow(ctx context.Context, req *Request, key string, tr *t
 func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string, tr *trace, meta *rowMeta) (*payload, *apiError) {
 	if p, ok := s.cache.Get(key); ok {
 		s.stats.add(&s.stats.CacheHits, 1)
-		tr.event(evCacheHit, "")
-		meta.Source = sourceCache
+		tr.event(evCacheHit, cacheHitDetail(p))
+		if p.warmed {
+			meta.Source = sourceJournal
+		} else {
+			meta.Source = sourceCache
+		}
 		return p, nil
 	}
 	res := make(chan jobResult, 1)

@@ -734,7 +734,7 @@ func TestStatzSchemaStable(t *testing.T) {
 		t.Fatalf("statz counters: %v", err)
 	}
 	wantCounters := []string{
-		"batch_jobs", "batch_rows", "body_too_large", "cache_hits", "deadline_expired",
+		"batch_jobs", "batch_rows", "body_too_large", "cache_hits", "cache_warmed", "deadline_expired",
 		"dedups", "drain_rejected", "hedge_wins", "hedges", "internal", "invalid",
 		"ok", "panics", "quarantined", "queue_full", "rate_limited", "received",
 		"retries", "rows_quarantined", "simulations",

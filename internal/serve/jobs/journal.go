@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // RowStatus is the terminal (journaled) or live state of one batch row.
@@ -132,21 +134,88 @@ func (j *Journal) Create(id string, spec *Spec) (*JobLog, error) {
 
 // Remove deletes job id's journal file — the retention path for a completed
 // job evicted from the serving layer's index. Removing a file that is
-// already gone is not an error.
+// already gone is not an error. The directory entry is fsync'd like Create's:
+// without it, a crash right after the eviction could resurrect the deleted
+// journal on restart, and the evicted job would reappear from the dead.
 func (j *Journal) Remove(id string) error {
 	if err := os.Remove(j.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("jobs: remove journal: %w", err)
 	}
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("jobs: remove journal: dir sync: %w", err)
+	}
 	return nil
 }
 
-// Reopen opens an existing job's log for appending (resume path).
+// Reopen opens an existing job's log for appending (resume path), first
+// truncating any torn final record. A crash mid-append leaves a partial line
+// with no trailing newline; opening with plain O_APPEND and writing would
+// concatenate the next record onto that partial line, producing a corrupt
+// line no future replay can parse — and because replay stops at the first
+// corrupt line, every record appended after it would be silently invisible
+// to every subsequent resume. Scanning to the last complete newline and
+// truncating the tail keeps the log parseable end to end across arbitrary
+// crash/resume sequences.
+//
+// Reopen does not repair a corrupt line that already carries its newline
+// (replay cannot tell such a record's bytes from a short valid one); callers
+// resuming a journal whose replay reported Corrupt must Rewrite first.
 func (j *Journal) Reopen(id string) (*JobLog, error) {
-	f, err := os.OpenFile(j.path(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(j.path(id), os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
 	}
+	torn, err := truncateTornTail(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	if torn > 0 {
+		j.logf("jobs: journal %s: truncated %d-byte torn final record before resuming appends", id, torn)
+	}
 	return &JobLog{f: f}, nil
+}
+
+// truncateTornTail cuts f back to its last complete newline-terminated
+// record and fsyncs the truncation, returning how many torn bytes were
+// dropped. Records are written newline-last in a single write, so any bytes
+// past the final newline belong to a record whose fsync never returned.
+func truncateTornTail(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	buf := make([]byte, 4096)
+	pos := size
+	for pos > 0 {
+		n := int64(len(buf))
+		if n > pos {
+			n = pos
+		}
+		if _, err := f.ReadAt(buf[:n], pos-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			end := pos - n + int64(i) + 1
+			if end == size {
+				return 0, nil
+			}
+			if err := f.Truncate(end); err != nil {
+				return 0, err
+			}
+			return size - end, f.Sync()
+		}
+		pos -= n
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	// No newline at all: the whole file is one torn record.
+	if err := f.Truncate(0); err != nil {
+		return 0, err
+	}
+	return size, f.Sync()
 }
 
 // syncDir fsyncs a directory so a freshly created journal file's dirent is
@@ -166,6 +235,15 @@ type ReplayedJob struct {
 	ID   string
 	Spec Spec
 	Rows []RowRecord
+	// SpecRaw is the spec record's raw JSON, preserved so Rewrite can emit
+	// the original spec bytes instead of a re-marshal.
+	SpecRaw json.RawMessage
+	// Corrupt reports that replay stopped at a complete-but-unparseable line
+	// before the end of the file. Any records past that line exist on disk
+	// but are invisible to every replay — and so would be any record
+	// appended after them. A corrupt journal must be Rewritten from its
+	// intact replayed prefix before new records are appended.
+	Corrupt bool
 }
 
 // Replay scans the journal directory and reconstructs every job. A torn
@@ -221,9 +299,13 @@ func (j *Journal) replayOne(id string) (ReplayedJob, error) {
 		}
 		var rec record
 		if uerr := json.Unmarshal(line, &rec); uerr != nil {
-			// Append-only logs only ever corrupt at the tail; anything after
-			// a bad line is suspect, so stop here and keep what replayed.
+			// Anything after a bad line is suspect, so stop here and keep
+			// what replayed. The complete (newline-terminated) bad line is
+			// real corruption, not a torn tail: mark the job so the resume
+			// path rewrites the log before appending — appends landing after
+			// the corrupt line would be invisible to every future replay.
 			j.logf("jobs: journal %s: stopping replay at corrupt line %d: %v", id, lineNo, uerr)
+			job.Corrupt = true
 			break
 		}
 		if first {
@@ -233,6 +315,7 @@ func (j *Journal) replayOne(id string) (ReplayedJob, error) {
 			if err := json.Unmarshal(rec.Spec, &job.Spec); err != nil {
 				return ReplayedJob{}, fmt.Errorf("unreadable spec: %w", err)
 			}
+			job.SpecRaw = rec.Spec
 			job.Spec.Normalize()
 			first = false
 			continue
@@ -250,6 +333,143 @@ func (j *Journal) replayOne(id string) (ReplayedJob, error) {
 		return ReplayedJob{}, errors.New("empty journal (no spec record)")
 	}
 	return job, nil
+}
+
+// dedupRows keeps the first record per row index, in journal order — the
+// same first-write-wins rule Job.ApplyReplayed applies, so a rewritten
+// journal replays to the identical row set.
+func dedupRows(rows []RowRecord) []RowRecord {
+	seen := make(map[int]bool, len(rows))
+	out := rows[:0:0]
+	for _, rec := range rows {
+		if seen[rec.Index] {
+			continue
+		}
+		seen[rec.Index] = true
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Rewrite atomically replaces job id's log with its minimal replayable
+// content: the spec record plus exactly one record per terminal row (first
+// record wins for duplicated indexes). The new file is written to a
+// temporary name, fsync'd, renamed over the old log, and the directory
+// entry fsync'd — a crash at any point leaves either the old intact log or
+// the new one, never a half-rewritten file. This is both the corrupt-line
+// repair the resume path runs before appending and the compaction
+// primitive behind Compact.
+func (j *Journal) Rewrite(rj ReplayedJob) error {
+	raw := rj.SpecRaw
+	if raw == nil {
+		var err error
+		if raw, err = json.Marshal(&rj.Spec); err != nil {
+			return fmt.Errorf("jobs: rewrite journal: marshal spec: %w", err)
+		}
+	}
+	tmp := j.path(rj.ID) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: rewrite journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeLine := func(rec any) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	err = writeLine(specRecord{Type: "spec", Job: rj.ID, Spec: raw})
+	for _, rec := range dedupRows(rj.Rows) {
+		if err != nil {
+			break
+		}
+		rec.Type = "row"
+		err = writeLine(rec)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: rewrite journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path(rj.ID)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: rewrite journal: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("jobs: rewrite journal: dir sync: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites job id's log down to its spec plus one record per
+// terminal row, dropping duplicate and ignored records, torn tails and
+// corrupt lines accumulated across crash/resume cycles. Compacting is
+// idempotent — a compacted log replays to exactly the rows the original
+// did — and returns how many bytes it reclaimed.
+func (j *Journal) Compact(id string) (reclaimed int64, err error) {
+	before, err := os.Stat(j.path(id))
+	if err != nil {
+		return 0, fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	rj, err := j.replayOne(id)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: compact journal %s: %w", id, err)
+	}
+	if err := j.Rewrite(rj); err != nil {
+		return 0, err
+	}
+	after, err := os.Stat(j.path(id))
+	if err != nil {
+		return 0, fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	return before.Size() - after.Size(), nil
+}
+
+// JournalEntry describes one on-disk journal file, for retention and GC
+// decisions in the serving layer.
+type JournalEntry struct {
+	ID      string
+	Size    int64
+	ModTime time.Time
+}
+
+// Entries lists the journal directory's job files (compaction temp files
+// and foreign files excluded). ModTime is the time of the last append —
+// for a finished job, effectively its completion time.
+func (j *Journal) Entries() ([]JournalEntry, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read journal dir: %w", err)
+	}
+	var out []JournalEntry
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a removal
+		}
+		out = append(out, JournalEntry{
+			ID:      strings.TrimSuffix(name, journalExt),
+			Size:    info.Size(),
+			ModTime: info.ModTime(),
+		})
+	}
+	return out, nil
 }
 
 // JobLog is the append side of one job's journal. Appends are serialized

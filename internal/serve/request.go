@@ -252,6 +252,22 @@ type payload struct {
 	Alg    string       `json:"alg"`
 	Cached bool         `json:"cached"`
 	Runs   []RunSummary `json:"runs"`
+
+	// warmed marks a payload loaded from the batch journal at startup
+	// (Config.WarmCache). Unexported, so it never reaches the wire — it
+	// only feeds the cache_hit event's source=journal provenance.
+	warmed bool
+}
+
+// cacheHitDetail annotates a cache_hit timeline event with the entry's
+// provenance: entries warmed from the batch journal at startup report
+// source=journal, entries cached by this process's own computations report
+// nothing.
+func cacheHitDetail(p *payload) string {
+	if p.warmed {
+		return "source=journal"
+	}
+	return ""
 }
 
 // Response is the full success body: the shared payload plus per-request

@@ -28,13 +28,22 @@
 // fsync'd to an append-only log: a restarted server resumes unfinished jobs,
 // serves journaled rows without recomputing them, and — because row keys and
 // expansion order are canonical — produces a final grid byte-identical to an
-// uninterrupted run. A per-row-key circuit breaker quarantines configurations
+// uninterrupted run. That identity holds across arbitrary crash/restart
+// sequences: resume truncates a torn final record before appending, and a
+// journal whose replay stopped at a corrupt line is atomically rewritten
+// from its intact prefix before any append, so no record is ever stranded
+// behind corruption. A per-row-key circuit breaker quarantines configurations
 // that panic across QuarantineAfter distinct engines (typed row_quarantined),
 // so one poisoned cell cannot sink the rest of its job. Drain extends to
 // batches: dispatched rows finish and are journaled, undispatched rows are
 // checkpointed as unstarted, zero rows lost. Retention keeps a long-lived
 // daemon bounded: past MaxBatchJobs, the oldest completed jobs are evicted
-// from the index and their journal files deleted (unfinished jobs never are).
+// from the index and their journal files deleted (unfinished jobs never are);
+// JournalMaxAge adds a time bound with startup + periodic GC, and finished
+// jobs' logs are compacted at resume to spec + one record per terminal row.
+// The journal doubles as a result corpus: WarmCache loads journaled rows
+// into the LRU result cache at startup, so the restarted daemon serves its
+// recorded corpus as cache hits with source=journal timeline provenance.
 //
 // The FaultInjector hook injects delayed, panicking and stuck attempts so
 // the chaos suite can prove all of the above under a request storm.
@@ -98,6 +107,21 @@ type Config struct {
 	// server resumes unfinished jobs from it. Empty disables durability
 	// (batch jobs still work, but die with the process).
 	JournalDir string
+	// WarmCache, with a journal configured, loads every replayed RowOK
+	// record into the LRU result cache at startup: row keys are exactly
+	// /simulate's canonical SHA-256 keys and the journaled result bytes are
+	// exactly the cacheable runs payload, so a restarted daemon serves its
+	// recorded corpus as cache hits (timeline cache_hit events carry
+	// source=journal provenance) instead of recomputing it.
+	WarmCache bool
+	// JournalMaxAge, when positive, bounds how long a *completed* batch job
+	// outlives its last journal append: a startup sweep plus a periodic GC
+	// evict completed jobs older than this and delete their journal files
+	// (orphaned journal files that back no indexed job age out the same
+	// way). Unfinished jobs are never aged out — they are the resume
+	// surface. 0 disables age-based GC; MaxBatchJobs still bounds the
+	// directory by count.
+	JournalMaxAge time.Duration
 	// QuarantineAfter is the per-row-key circuit breaker threshold: a
 	// configuration that panics on this many distinct engines is answered
 	// with a typed row_quarantined instead of burning more retry budget
@@ -204,6 +228,7 @@ type Stats struct {
 	Internal        int64 `json:"internal"`
 
 	CacheHits   int64 `json:"cache_hits"`
+	CacheWarmed int64 `json:"cache_warmed"`
 	Dedups      int64 `json:"dedups"`
 	Simulations int64 `json:"simulations"`
 	Panics      int64 `json:"panics"`
@@ -229,6 +254,7 @@ func (st *Stats) snapshot() Stats {
 		{&out.DrainRejected, &st.DrainRejected}, {&out.DeadlineExpired, &st.DeadlineExpired},
 		{&out.TooLarge, &st.TooLarge},
 		{&out.Internal, &st.Internal}, {&out.CacheHits, &st.CacheHits},
+		{&out.CacheWarmed, &st.CacheWarmed},
 		{&out.Dedups, &st.Dedups}, {&out.Simulations, &st.Simulations},
 		{&out.Panics, &st.Panics}, {&out.Retries, &st.Retries},
 		{&out.Hedges, &st.Hedges}, {&out.HedgeWins, &st.HedgeWins},
@@ -322,7 +348,39 @@ func New(cfg Config) *Server {
 		go w.loop()
 	}
 	s.resumeJournaledJobs()
+	// GC runs after resume so an unfinished job's journal is indexed (and
+	// therefore protected) before the sweep looks for aged-out files.
+	s.gcJournals()
+	if s.journal != nil && cfg.JournalMaxAge > 0 {
+		s.workerWG.Add(1)
+		go s.gcLoop()
+	}
 	return s
+}
+
+// gcLoop re-runs the age-based journal GC periodically until the server's
+// base context is cancelled (Close). The interval tracks JournalMaxAge so
+// an expired job is collected within roughly half the age bound, clamped so
+// tiny ages cannot busy-loop and huge ages still sweep every minute.
+func (s *Server) gcLoop() {
+	defer s.workerWG.Done()
+	interval := s.cfg.JournalMaxAge / 2
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.gcJournals()
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -509,7 +567,7 @@ func (s *Server) errCtxExpired(ctx context.Context) *apiError {
 func (s *Server) compute(ctx context.Context, req *Request, key string, tr *trace) (*payload, *apiError) {
 	if p, ok := s.cache.Get(key); ok {
 		s.stats.add(&s.stats.CacheHits, 1)
-		tr.event(evCacheHit, "")
+		tr.event(evCacheHit, cacheHitDetail(p))
 		hit := *p // shallow copy: Runs is shared and immutable
 		hit.Cached = true
 		return &hit, nil
