@@ -10,6 +10,7 @@
 //	GET  /batch            known batch jobs
 //	GET  /batch/{id}       per-row status of one batch job
 //	GET  /batch/{id}/grid  the job's terminal rows (NDJSON, byte-stable across restarts)
+//	GET  /corpus           the node's verified result corpus (NDJSON: header, rows, checksummed trailer)
 //	GET  /tracez           ring buffer of the last -trace-buffer completed attempt timelines
 //	GET  /healthz          liveness — 503 once draining so balancers stop routing here
 //	GET  /statz            stable JSON snapshot: uptime, in-flight gauge, counters
@@ -19,7 +20,7 @@
 // queued, dispatched, per-attempt panics and backoffs, hedges, cache/dedup
 // resolution, typed outcome — attached to the response envelope (the result
 // payload bytes are unchanged). GET /batch/{id} reports each row's attempt
-// count and result source (fresh, cache, dedup, journal) the same way.
+// count and result source (fresh, cache, dedup, journal, peer) the same way.
 //
 // With -journal-dir set, every batch spec and row completion is fsync'd to an
 // append-only NDJSON journal; a restarted daemon replays it, serves finished
@@ -40,6 +41,19 @@
 // journal directory in time: completed jobs (and orphaned journal files)
 // idle longer than the age are evicted at startup and periodically;
 // unfinished jobs are never aged out.
+//
+// The corpus travels between nodes: -peers host:port,... with -peer-warm
+// makes a starting daemon pull GET /corpus from the first reachable sibling
+// — in the background, after the listener is up, so warm-up never delays
+// serving — and load every verified row into the result cache with
+// source=peer provenance. Each imported row passes the same gate as
+// -warm-cache: the advertised key must match the re-canonicalized request
+// and the result bytes must round-trip json-canonically, so a corrupt or
+// adversarial peer can pollute nothing (rejects land in the
+// corpus_rejected_rows counter). Transfers are bounded by -peer-timeout,
+// retried with capped exponential backoff, and fail over across peers; when
+// every peer is down the daemon simply cold-starts. The export stream is
+// checksummed end to end, so truncation and tampering are always detected.
 //
 // A SIGTERM or SIGINT triggers graceful drain: admission stops with typed
 // 503s, in-flight requests and dispatched batch rows run to completion
@@ -63,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -96,6 +111,11 @@ func main() {
 		batchParallel = flag.Int("batch-parallel", 0, "batch rows in flight at once per job (0 = workers)")
 		traceBuffer   = flag.Int("trace-buffer", 256, "completed attempt timelines retained for GET /tracez (-1 disables the ring)")
 
+		nodeID      = flag.String("node-id", "", "node identity in GET /corpus export headers (empty = random per process)")
+		peers       = flag.String("peers", "", "comma-separated sibling rwsimd nodes (host:port or URL) to pull a warm corpus from")
+		peerWarm    = flag.Bool("peer-warm", false, "warm the result cache from -peers at startup (verified rows only; never delays serving)")
+		peerTimeout = flag.Duration("peer-timeout", 10*time.Second, "per-peer corpus transfer bound, connect and read included")
+
 		injPanic = flag.Int("inject-panic-every", 0, "chaos: panic the first attempt of every Nth request key (0 = off)")
 		injStall = flag.Int("inject-stall-every", 0, "chaos: stall the first attempt of every Nth request key (0 = off)")
 		injDelay = flag.Int("inject-delay-every", 0, "chaos: delay the first attempt of every Nth request key (0 = off)")
@@ -124,6 +144,10 @@ func main() {
 		MaxBatchJobs:    *maxBatchJobs,
 		BatchParallel:   *batchParallel,
 		TraceBuffer:     *traceBuffer,
+		NodeID:          *nodeID,
+		Peers:           splitPeers(*peers),
+		PeerWarm:        *peerWarm,
+		PeerTimeout:     *peerTimeout,
 		Injector:        buildInjector(*injPanic, *injStall, *injDelay, *injDelayBy),
 		Logf:            log.Printf,
 	}
@@ -159,6 +183,18 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("rwsimd: shutdown complete")
+}
+
+// splitPeers parses the -peers list, dropping empty segments so trailing or
+// doubled commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // buildInjector turns the -inject-* knobs into a serve.FaultInjector, or nil

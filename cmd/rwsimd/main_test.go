@@ -47,3 +47,29 @@ func TestBuildInjectorDeterministicPerKey(t *testing.T) {
 		t.Fatal("expected at least one clean key among the sample")
 	}
 }
+
+func TestSplitPeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , ,b:2, ", []string{"a:1", "b:2"}},
+		{"http://a:1,,", []string{"http://a:1"}},
+	}
+	for _, tc := range cases {
+		got := splitPeers(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitPeers(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

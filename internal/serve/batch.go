@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -43,6 +42,7 @@ const (
 	sourceCache   = "cache"   // served from the LRU result cache
 	sourceDedup   = "dedup"   // shared an in-flight leader's computation
 	sourceJournal = "journal" // replayed from the batch journal at startup
+	sourcePeer    = "peer"    // imported from a fleet sibling's corpus
 )
 
 // setMeta records one row's provenance; the slice is allocated lazily so
@@ -278,26 +278,33 @@ func (s *Server) resumeJournaledJobs() {
 // result bytes round-trip through the wire type unchanged, so a cache hit
 // later serves byte-identical payload bytes to what the journal holds; a
 // record that fails the round-trip is skipped, never served approximately.
+// Inserts stop once the cache is at capacity (AddIfSpace): warming must
+// never churn evictions through a corpus larger than the cache; skipped
+// rows land in the warm_skipped_rows counter.
 func (s *Server) warmFromJournal(job *jobs.Job, rows []Request, recs []jobs.RowRecord) int {
-	warmed := 0
+	warmed, skipped := 0, 0
 	for _, rec := range recs {
 		if rec.Status != jobs.RowOK || rec.Index < 0 || rec.Index >= len(rows) || rec.Key != job.Key(rec.Index) {
 			continue
 		}
-		var runs []RunSummary
-		if err := json.Unmarshal(rec.Result, &runs); err != nil {
-			s.cfg.Logf("serve: warm-cache: job %s row %d: undecodable result; skipped: %v", job.ID, rec.Index, err)
-			continue
-		}
-		canon, err := json.Marshal(runs)
-		if err != nil || !bytes.Equal(canon, rec.Result) {
+		runs, ok := canonicalRuns(rec.Result)
+		if !ok {
 			s.cfg.Logf("serve: warm-cache: job %s row %d: result bytes not canonical; skipped", job.ID, rec.Index)
 			continue
 		}
-		s.cache.Add(rec.Key, &payload{Key: rec.Key, Alg: rows[rec.Index].Alg, Runs: runs, warmed: true})
-		warmed++
+		p := &payload{Key: rec.Key, Alg: rows[rec.Index].Alg, Runs: runs,
+			warmSrc: sourceJournal, req: wireRequest(rows[rec.Index])}
+		if s.cache.AddIfSpace(rec.Key, p) {
+			warmed++
+		} else {
+			skipped++
+		}
 	}
 	s.stats.add(&s.stats.CacheWarmed, int64(warmed))
+	s.stats.add(&s.stats.WarmSkipped, int64(skipped))
+	if skipped > 0 {
+		s.cfg.Logf("serve: warm-cache: job %s: cache full; %d rows skipped", job.ID, skipped)
+	}
 	return warmed
 }
 
@@ -663,8 +670,8 @@ func (s *Server) computeRowLeader(ctx context.Context, req *Request, key string,
 	if p, ok := s.cache.Get(key); ok {
 		s.stats.add(&s.stats.CacheHits, 1)
 		tr.event(evCacheHit, cacheHitDetail(p))
-		if p.warmed {
-			meta.Source = sourceJournal
+		if p.warmSrc != "" {
+			meta.Source = p.warmSrc
 		} else {
 			meta.Source = sourceCache
 		}
@@ -714,7 +721,8 @@ type batchRowStatus struct {
 	Status jobs.RowStatus `json:"status"`
 	// Attempts and Source are serving provenance: how many worker attempts
 	// the row took and where its bytes came from ("fresh", "cache", "dedup",
-	// "journal"). Metadata only — the journaled grid bytes never carry them.
+	// "journal", "peer"). Metadata only — the journaled grid bytes never
+	// carry them.
 	Attempts int    `json:"attempts"`
 	Source   string `json:"source,omitempty"`
 }

@@ -734,10 +734,12 @@ func TestStatzSchemaStable(t *testing.T) {
 		t.Fatalf("statz counters: %v", err)
 	}
 	wantCounters := []string{
-		"batch_jobs", "batch_rows", "body_too_large", "cache_hits", "cache_warmed", "deadline_expired",
-		"dedups", "drain_rejected", "hedge_wins", "hedges", "internal", "invalid",
-		"ok", "panics", "quarantined", "queue_full", "rate_limited", "received",
-		"retries", "rows_quarantined", "simulations",
+		"batch_jobs", "batch_rows", "body_too_large", "cache_hits", "cache_warmed",
+		"corpus_exported_rows", "corpus_imported_rows", "corpus_rejected_rows",
+		"deadline_expired", "dedups", "drain_rejected", "hedge_wins", "hedges",
+		"internal", "invalid", "ok", "panics", "peer_warm_failures", "quarantined",
+		"queue_full", "rate_limited", "received", "retries", "rows_quarantined",
+		"simulations", "warm_skipped_rows",
 	}
 	got := make([]string, 0, len(counters))
 	for k := range counters {

@@ -70,6 +70,42 @@ func (c *resultCache) Add(key string, p *payload) {
 	}
 }
 
+// AddIfSpace stores p under key only when doing so evicts nothing: either
+// the key is already present (refreshed in place) or the cache has free
+// capacity. Warm-up paths (journal replay, peer corpus import) use it so a
+// corpus larger than the cache stops inserting at capacity instead of
+// churning the entire corpus through the LRU and evicting earlier rows.
+func (c *resultCache) AddIfSpace(key string, p *payload) bool {
+	if c.cap == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).p = p
+		return true
+	}
+	if c.order.Len() >= c.cap {
+		return false
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, p: p})
+	return true
+}
+
+// Snapshot returns the cached payloads, most recently used first. Payloads
+// are shared by reference and immutable after insertion, so the caller may
+// read them without further locking.
+func (c *resultCache) Snapshot() []*payload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*payload, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).p)
+	}
+	return out
+}
+
 // Len reports the number of cached payloads.
 func (c *resultCache) Len() int {
 	c.mu.Lock()

@@ -91,7 +91,10 @@ type Journal struct {
 	Logf func(format string, args ...any)
 }
 
-// OpenJournal opens (creating if needed) the journal directory.
+// OpenJournal opens (creating if needed) the journal directory and sweeps
+// any orphaned rewrite temp files: a crash between Rewrite's write-temp and
+// its rename strands a ".ndjson.tmp" file that Replay and Entries skip but
+// nothing would ever remove, leaking directory space forever.
 func OpenJournal(dir string) (*Journal, error) {
 	if dir == "" {
 		return nil, errors.New("jobs: empty journal dir")
@@ -99,7 +102,42 @@ func OpenJournal(dir string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: journal dir: %w", err)
 	}
-	return &Journal{dir: dir}, nil
+	j := &Journal{dir: dir}
+	j.sweepTempFiles()
+	return j, nil
+}
+
+// journalTmpExt is the suffix Rewrite's temp files carry. It does not end in
+// journalExt's bare suffix, so Replay/Entries never mistake a half-written
+// rewrite for a job log.
+const journalTmpExt = journalExt + ".tmp"
+
+// sweepTempFiles removes temp files a crashed Rewrite/Compact left behind.
+// Safe at open time: rewrites only happen through this Journal after it is
+// constructed, so any temp file present now is an orphan by definition.
+func (j *Journal) sweepTempFiles() {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		j.logf("jobs: journal temp sweep: %v", err)
+		return
+	}
+	removed := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), journalTmpExt) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(j.dir, e.Name())); err != nil {
+			j.logf("jobs: journal temp sweep: %v", err)
+			continue
+		}
+		removed = true
+		j.logf("jobs: removed orphaned journal temp file %s", e.Name())
+	}
+	if removed {
+		if err := syncDir(j.dir); err != nil {
+			j.logf("jobs: journal temp sweep: dir sync: %v", err)
+		}
+	}
 }
 
 func (j *Journal) logf(format string, args ...any) {

@@ -500,3 +500,46 @@ func TestJournalRejectsNonTerminal(t *testing.T) {
 		t.Fatal("journaled a non-terminal status")
 	}
 }
+
+// TestOpenJournalSweepsTempFiles: a crash between Rewrite's write-temp and
+// rename strands a .ndjson.tmp file that replay skips but nothing would ever
+// remove — OpenJournal GCs them, without touching real journals or foreign
+// files.
+func TestOpenJournalSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := j.Create("job1", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendRow(RowRecord{Index: 0, Key: "k0", Status: RowOK,
+		Result: json.RawMessage(`[{"seed":1}]`)}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	orphan := filepath.Join(dir, "job1.ndjson.tmp")
+	if err := os.WriteFile(orphan, []byte("half-written rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "notes.tmp") // not a journal temp file
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatalf("sweep removed a non-journal file: %v", err)
+	}
+	replayed, err := j.Replay()
+	if err != nil || len(replayed) != 1 || len(replayed[0].Rows) != 1 {
+		t.Fatalf("journal damaged by sweep: %v (%d jobs)", err, len(replayed))
+	}
+}

@@ -253,19 +253,27 @@ type payload struct {
 	Cached bool         `json:"cached"`
 	Runs   []RunSummary `json:"runs"`
 
-	// warmed marks a payload loaded from the batch journal at startup
-	// (Config.WarmCache). Unexported, so it never reaches the wire — it
-	// only feeds the cache_hit event's source=journal provenance.
-	warmed bool
+	// warmSrc marks a payload loaded from outside this process's own
+	// computations: sourceJournal (batch journal warm-up at startup,
+	// Config.WarmCache) or sourcePeer (fleet corpus import, Config.PeerWarm).
+	// Empty for locally computed payloads. Unexported, so it never reaches
+	// the wire — it only feeds cache_hit / batch-row provenance.
+	warmSrc string
+
+	// req is the normalized request that produced this payload, kept so GET
+	// /corpus can export the row with enough context for an importer to
+	// re-verify the key against a re-canonicalized request. Unexported:
+	// never serialized into responses.
+	req Request
 }
 
 // cacheHitDetail annotates a cache_hit timeline event with the entry's
 // provenance: entries warmed from the batch journal at startup report
-// source=journal, entries cached by this process's own computations report
-// nothing.
+// source=journal, entries imported from a fleet sibling report source=peer,
+// and entries cached by this process's own computations report nothing.
 func cacheHitDetail(p *payload) string {
-	if p.warmed {
-		return "source=journal"
+	if p.warmSrc != "" {
+		return "source=" + p.warmSrc
 	}
 	return ""
 }

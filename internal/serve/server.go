@@ -45,8 +45,22 @@
 // into the LRU result cache at startup, so the restarted daemon serves its
 // recorded corpus as cache hits with source=journal timeline provenance.
 //
-// The FaultInjector hook injects delayed, panicking and stuck attempts so
-// the chaos suite can prove all of the above under a request storm.
+// The corpus also travels between nodes. GET /corpus streams the node's
+// verified results (journal-backed OK rows plus live cache entries) as
+// canonical NDJSON — a header with node identity, one row per entry carrying
+// the canonical key, the normalized request and the exact cacheable result
+// bytes, and an end trailer with a running checksum so truncation or
+// tampering is always detectable. With Peers + PeerWarm configured, a fresh
+// node pulls that stream from the first reachable sibling at startup (in the
+// background, never delaying its own serving), re-verifies every row against
+// the same gate as WarmCache, and serves the fleet's working set as cache
+// hits with source=peer provenance. The warm-up retries with capped
+// exponential backoff, fails over across peers, stops inserting once the
+// cache is full, and degrades to a cold start when the whole fleet is down.
+//
+// The FaultInjector hook injects delayed, panicking and stuck attempts —
+// plus truncated, corrupted, stalled and erroring corpus exports — so the
+// chaos suite can prove all of the above under a request storm.
 package serve
 
 import (
@@ -143,6 +157,33 @@ type Config struct {
 	// retains (default 256; negative disables the ring — per-request
 	// "trace": true opt-in still works).
 	TraceBuffer int
+	// NodeID identifies this node in GET /corpus export headers so a fleet
+	// operator can tell whose corpus a warm-up pulled; "" means a random id
+	// per process.
+	NodeID string
+	// Peers lists sibling rwsimd nodes ("host:port" or a full URL) whose
+	// corpus this node may pull at startup.
+	Peers []string
+	// PeerWarm, with Peers configured, pulls GET /corpus from the first
+	// reachable sibling at startup and loads every verified row into the
+	// result cache with source=peer provenance. The warm-up runs in the
+	// background — it never delays serving — and every imported row passes
+	// the same verification gate as WarmCache (key must match the
+	// re-canonicalized request, result bytes must round-trip canonically),
+	// so a corrupt or adversarial peer can pollute nothing.
+	PeerWarm bool
+	// PeerTimeout bounds one peer corpus transfer end to end, connect and
+	// read included (default 10s) — a stalled peer costs at most this long
+	// before the warm-up retries or fails over.
+	PeerTimeout time.Duration
+	// PeerAttempts is the per-peer attempt budget during warm-up (default
+	// 3); once a peer exhausts it the warm-up fails over to the next peer,
+	// and when every peer is down the node degrades to a cold start.
+	PeerAttempts int
+	// PeerBackoff is the base backoff between per-peer warm-up retries,
+	// doubled per retry with the same overflow cap as request retries
+	// (default 100ms).
+	PeerBackoff time.Duration
 	// Injector, when non-nil, injects faults into worker attempts (chaos
 	// testing only).
 	Injector FaultInjector
@@ -202,6 +243,15 @@ func (c Config) withDefaults() Config {
 	case c.TraceBuffer < 0:
 		c.TraceBuffer = 0 // ring disabled
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * time.Second
+	}
+	if c.PeerAttempts <= 0 {
+		c.PeerAttempts = 3
+	}
+	if c.PeerBackoff <= 0 {
+		c.PeerBackoff = 100 * time.Millisecond
+	}
 	c.Limits = c.Limits.withDefaults()
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -240,6 +290,16 @@ type Stats struct {
 	BatchJobs       int64 `json:"batch_jobs"`
 	BatchRows       int64 `json:"batch_rows"`
 	RowsQuarantined int64 `json:"rows_quarantined"`
+
+	// Fleet corpus sharing: rows streamed out of GET /corpus, rows imported
+	// from / rejected by the peer warm-up verification gate, warm-up rows
+	// skipped because the cache was full (journal and peer warm-up alike),
+	// and failed peer transfer attempts.
+	CorpusExported   int64 `json:"corpus_exported_rows"`
+	CorpusImported   int64 `json:"corpus_imported_rows"`
+	CorpusRejected   int64 `json:"corpus_rejected_rows"`
+	WarmSkipped      int64 `json:"warm_skipped_rows"`
+	PeerWarmFailures int64 `json:"peer_warm_failures"`
 }
 
 // add bumps one counter; all counter access is atomic.
@@ -261,6 +321,9 @@ func (st *Stats) snapshot() Stats {
 		{&out.Quarantined, &st.Quarantined},
 		{&out.BatchJobs, &st.BatchJobs}, {&out.BatchRows, &st.BatchRows},
 		{&out.RowsQuarantined, &st.RowsQuarantined},
+		{&out.CorpusExported, &st.CorpusExported}, {&out.CorpusImported, &st.CorpusImported},
+		{&out.CorpusRejected, &st.CorpusRejected}, {&out.WarmSkipped, &st.WarmSkipped},
+		{&out.PeerWarmFailures, &st.PeerWarmFailures},
 	} {
 		*c.dst = atomic.LoadInt64(c.src)
 	}
@@ -284,6 +347,15 @@ type Server struct {
 
 	start    time.Time
 	inFlight atomic.Int64
+
+	// nodeID identifies this node in corpus export headers; corpusExports
+	// numbers exports so the fault injector can build per-export chaos
+	// schedules. warmDone closes when the peer warm-up goroutine finishes
+	// (immediately when warm-up is disabled) — tests and operators can wait
+	// on it without polling.
+	nodeID        string
+	corpusExports atomic.Int64
+	warmDone      chan struct{}
 
 	// journal, when non-nil, is the durable batch-job log; batches indexes
 	// every known job (live, finished, and journal-replayed) by id.
@@ -323,12 +395,22 @@ func New(cfg Config) *Server {
 		batches: make(map[string]*batchEntry),
 		start:   time.Now(),
 	}
+	s.nodeID = cfg.NodeID
+	if s.nodeID == "" {
+		if id, err := newJobID(); err == nil {
+			s.nodeID = "node-" + id
+		} else {
+			s.nodeID = "node-unknown"
+		}
+	}
+	s.warmDone = make(chan struct{})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /batch", s.handleBatchSubmit)
 	s.mux.HandleFunc("GET /batch", s.handleBatchList)
 	s.mux.HandleFunc("GET /batch/{id}", s.handleBatchStatus)
 	s.mux.HandleFunc("GET /batch/{id}/grid", s.handleBatchGrid)
+	s.mux.HandleFunc("GET /corpus", s.handleCorpus)
 	s.mux.HandleFunc("GET /tracez", s.handleTracez)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
@@ -354,6 +436,16 @@ func New(cfg Config) *Server {
 	if s.journal != nil && cfg.JournalMaxAge > 0 {
 		s.workerWG.Add(1)
 		go s.gcLoop()
+	}
+	// Peer warm-up runs last and fully in the background: the server is
+	// already serving (a dead fleet must never prevent a node from coming
+	// up), and the goroutine rides workerWG so Close's baseCancel →
+	// workerWG.Wait sequence stops it deterministically.
+	if cfg.PeerWarm && len(cfg.Peers) > 0 {
+		s.workerWG.Add(1)
+		go s.peerWarm()
+	} else {
+		close(s.warmDone)
 	}
 	return s
 }

@@ -224,7 +224,7 @@ func (w *worker) attempt(j *job, attempt int) (*payload, error) {
 		}
 		out = append(out, sum)
 	}
-	return &payload{Key: j.key, Alg: j.req.Alg, Runs: out}, nil
+	return &payload{Key: j.key, Alg: j.req.Alg, Runs: out, req: wireRequest(*j.req)}, nil
 }
 
 // runOne performs a single simulated run on a pooled engine, recovering
